@@ -1,0 +1,107 @@
+// Ablation: fused vs separate axis rotation (Sections IV-A and VI-B).
+//
+// "The rotation is combined with the last iteration of the computation to
+// reduce the number of synchronization points and round trips to memory."
+// A separate rotation pass reads and writes every point once more per
+// dimension: 12 memory passes instead of 9 for a 3-D transform. Model
+// sweep on every configuration plus a host-CPU check of the two PlanND
+// modes.
+#include <chrono>
+#include <cstdio>
+
+#include "xfft/fftnd.hpp"
+#include "xsim/perf_model.hpp"
+#include "xutil/rng.hpp"
+#include "xutil/string_util.hpp"
+#include "xutil/table.hpp"
+#include "xutil/units.hpp"
+
+namespace {
+
+/// Phase list for the separate-rotation variant: butterfly iterations lose
+/// their rotation flag (in-place, streaming) and each dimension gains a
+/// pure copy pass with the rotation's scatter pattern.
+std::vector<xfft::KernelPhase> separate_rotation_phases(xfft::Dims3 dims) {
+  auto phases = xfft::build_fft_phases(dims, 8);
+  std::vector<xfft::KernelPhase> out;
+  const std::uint64_t n = dims.total();
+  for (auto ph : phases) {
+    const bool was_rotation = ph.rotation;
+    ph.rotation = false;
+    const std::string dim_name = "dim" + std::to_string(ph.dim);
+    out.push_back(ph);
+    if (was_rotation) {
+      xfft::KernelPhase rot;
+      rot.name = dim_name + ".rotate";
+      rot.dim = ph.dim;
+      rot.iter = ph.iter + 1;
+      rot.radix = 1;
+      rot.rotation = true;
+      rot.threads = n / 8;  // 8 points per copy thread
+      rot.data_word_reads = 2 * n;
+      rot.data_word_writes = 2 * n;
+      rot.twiddle_word_reads = 0;
+      rot.flops = 0;
+      rot.int_instructions =
+          rot.threads * (xfft::kAddrOpsPerAccess * 32 +
+                         xfft::kControlOpsPerThread);
+      rot.distinct_twiddles = 0;
+      out.push_back(rot);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const xfft::Dims3 dims{512, 512, 512};
+
+  xutil::Table t("ABLATION: FUSED vs SEPARATE ROTATION (model, 512^3)");
+  t.set_header({"Configuration", "fused (GFLOPS)", "separate (GFLOPS)",
+                "fused speedup", "memory passes"});
+  for (const auto& cfg : xsim::paper_presets()) {
+    const xsim::FftPerfModel model(cfg);
+    const auto fused = model.analyze_fft(dims);
+    const auto sep_phases = separate_rotation_phases(dims);
+    const auto separate = model.analyze(dims, sep_phases);
+    t.add_row({cfg.name, xutil::format_gflops(fused.standard_gflops),
+               xutil::format_gflops(separate.standard_gflops),
+               xutil::format_fixed(
+                   fused.standard_gflops / separate.standard_gflops, 2) +
+                   "x",
+               "9 vs 12"});
+  }
+  t.add_note("the fused variant saves one full read+write pass per "
+             "dimension — worth ~25-30% on a bandwidth-bound machine");
+  std::fputs(t.render().c_str(), stdout);
+
+  // Host check: both PlanND modes compute identical results; the fused
+  // mode does one fewer pass per dimension on the host too.
+  const xfft::Dims3 hd{128, 128, 64};
+  std::vector<xfft::Cf> base(hd.total());
+  xutil::Pcg32 rng(9);
+  for (auto& v : base) {
+    v = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+  xutil::Table h("HOST REFERENCE: PlanND modes (128x128x64, this CPU)");
+  h.set_header({"mode", "time (ms)"});
+  for (const auto mode : {xfft::RotationMode::kFusedRotation,
+                          xfft::RotationMode::kSeparate}) {
+    xfft::PlanND<float> plan(hd, xfft::Direction::kForward,
+                             xfft::PlanND<float>::Options{.rotation = mode});
+    auto work = base;
+    const int reps = 4;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) plan.execute(std::span<xfft::Cf>(work));
+    const auto t1 = std::chrono::steady_clock::now();
+    h.add_row({mode == xfft::RotationMode::kFusedRotation ? "fused"
+                                                          : "separate",
+               xutil::format_fixed(
+                   std::chrono::duration<double>(t1 - t0).count() / reps *
+                       1e3,
+                   2)});
+  }
+  std::fputs(h.render().c_str(), stdout);
+  return 0;
+}

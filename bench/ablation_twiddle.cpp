@@ -1,0 +1,77 @@
+// Ablation: twiddle-factor handling (Section IV-A).
+//
+// Three arms on the cycle-level machine, warm caches:
+//  - replicated LUT (the paper's scheme),
+//  - a single shared LUT copy (per-location queueing on the hot roots),
+//  - on-demand sin/cos (no LUT traffic, ~40 extra flops per twiddle).
+// The last iteration is where the choice matters most: the live roots have
+// decimated to a handful, so a single copy serializes on one module.
+#include <cstdio>
+
+#include "xfft/xmt_kernel.hpp"
+#include "xsim/fft_traffic.hpp"
+#include "xsim/machine.hpp"
+#include "xutil/string_util.hpp"
+#include "xutil/table.hpp"
+
+namespace {
+
+xsim::MachineConfig bench_config() {
+  xsim::MachineConfig c;
+  c.name = "bench-16x16";
+  c.clusters = 16;
+  c.tcus = 16 * 32;
+  c.memory_modules = 16;
+  c.mot_levels = 6;
+  c.butterfly_levels = 2;
+  c.mms_per_dram_ctrl = 4;
+  c.fpus_per_cluster = 8;  // keep arithmetic off the critical path
+  c.cache_bytes_per_mm = 256 * 1024;
+  c.validate();
+  return c;
+}
+
+std::uint64_t run_warm(xsim::Machine& m, const xsim::ProgramGenerator& gen,
+                       std::uint64_t threads) {
+  (void)m.run_parallel_section(threads, gen);  // warm caches
+  return m.run_parallel_section(threads, gen, /*keep_cache=*/true).cycles;
+}
+
+}  // namespace
+
+int main() {
+  const xfft::Dims3 dims{512, 16, 1};
+  const auto phases = xfft::build_fft_phases(dims, 8);
+  const auto cfg = bench_config();
+  xsim::Machine m(cfg);
+
+  xutil::Table t("ABLATION: TWIDDLE HANDLING (cycle-level machine, warm)");
+  t.set_header({"Iteration", "live roots", "replicated LUT (cycles)",
+                "single LUT (cycles)", "on-demand sin/cos (cycles)",
+                "single/replicated"});
+  for (const auto& ph : phases) {
+    if (ph.dim != 0) continue;  // the three iterations along x
+    xsim::FftTrafficOptions rep;
+    rep.twiddle_copies = 64;
+    xsim::FftTrafficOptions one;
+    one.twiddle_copies = 1;
+    xsim::FftTrafficOptions demand;
+    demand.twiddle_on_demand = true;
+    const auto c_rep = run_warm(
+        m, xsim::make_fft_phase_generator(cfg, dims, ph, rep), ph.threads);
+    const auto c_one = run_warm(
+        m, xsim::make_fft_phase_generator(cfg, dims, ph, one), ph.threads);
+    const auto c_dem = run_warm(
+        m, xsim::make_fft_phase_generator(cfg, dims, ph, demand), ph.threads);
+    t.add_row({ph.name, std::to_string(ph.distinct_twiddles),
+               std::to_string(c_rep), std::to_string(c_one),
+               std::to_string(c_dem),
+               xutil::format_fixed(static_cast<double>(c_one) / c_rep, 2) +
+                   "x"});
+  }
+  t.add_note("per-location queueing hurts exactly when few roots are live "
+             "(late iterations) — the paper's motivation for replication "
+             "with decimation");
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}

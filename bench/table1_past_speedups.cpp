@@ -1,0 +1,24 @@
+// Regenerates Table I: speedups of PRAM algorithms on XMT versus the best
+// competing GPU/CPU results (published measurements, Section III-B).
+#include <cstdio>
+
+#include "xref/past_speedups.hpp"
+#include "xutil/table.hpp"
+
+int main() {
+  xutil::Table t("TABLE I: XMT SPEEDUPS");
+  t.set_header({"Algorithm", "XMT", "GPU/CPU", "Factor"});
+  t.set_align(1, xutil::Align::kRight);
+  for (const auto& row : xref::table1_rows()) {
+    t.add_row({row.algorithm, row.xmt, row.gpu_cpu, row.factor});
+  }
+  const auto fft = xref::prior_fft_result();
+  t.add_note("prior FFT result [18]: " +
+             std::to_string(fft.xmt_speedup).substr(0, 4) + "X on a " +
+             std::to_string(fft.xmt_tcus) + "-TCU XMT vs " +
+             std::to_string(static_cast<int>(fft.amd_speedup)) + "X on a " +
+             std::to_string(fft.amd_cores) +
+             "-core AMD of equal silicon area");
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates Table II (XMT architecture configurations) from the presets,
+// plus the derived quantities the paper states in prose (DRAM channels,
+// off-chip bandwidth, peak FLOPS).
+#include <cstdio>
+
+#include "xsim/config.hpp"
+#include "xutil/string_util.hpp"
+#include "xutil/table.hpp"
+#include "xutil/units.hpp"
+
+int main() {
+  const auto presets = xsim::paper_presets();
+
+  xutil::Table t("TABLE II: XMT ARCHITECTURE CONFIGURATIONS");
+  std::vector<std::string> header = {"Parameter"};
+  for (const auto& c : presets) header.push_back(c.name);
+  t.set_header(header);
+
+  const auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells = {name};
+    for (const auto& c : presets) cells.push_back(getter(c));
+    t.add_row(cells);
+  };
+  using C = xsim::MachineConfig;
+  row("TCUs", [](const C& c) { return xutil::format_group(static_cast<long long>(c.tcus)); });
+  row("Clusters", [](const C& c) { return std::to_string(c.clusters); });
+  row("Memory Modules", [](const C& c) { return std::to_string(c.memory_modules); });
+  row("NoC MoT Levels", [](const C& c) { return std::to_string(c.mot_levels); });
+  row("NoC Butterfly Levels", [](const C& c) { return std::to_string(c.butterfly_levels); });
+  row("MMs per DRAM Ctrl.", [](const C& c) { return std::to_string(c.mms_per_dram_ctrl); });
+  row("FPUs per Cluster", [](const C& c) { return std::to_string(c.fpus_per_cluster); });
+  row("TCUs per Cluster", [](const C& c) { return std::to_string(c.tcus_per_cluster); });
+  row("ALUs per Cluster", [](const C& c) { return std::to_string(c.alus_per_cluster); });
+  row("MDUs per Cluster", [](const C& c) { return std::to_string(c.mdus_per_cluster); });
+  row("LSUs per Cluster", [](const C& c) { return std::to_string(c.lsus_per_cluster); });
+  std::fputs(t.render().c_str(), stdout);
+
+  xutil::Table d("DERIVED QUANTITIES (stated in the paper's prose)");
+  d.set_header(header);
+  std::vector<std::string> ch = {"DRAM channels"};
+  std::vector<std::string> bw = {"Off-chip bandwidth"};
+  std::vector<std::string> pk = {"Peak compute"};
+  std::vector<std::string> noc = {"NoC topology"};
+  for (const auto& c : presets) {
+    ch.push_back(std::to_string(c.dram_channels()));
+    bw.push_back(xutil::format_bandwidth_bits(c.dram_bw_bytes_per_sec() * 8));
+    pk.push_back(xutil::format_gflops(c.peak_flops_per_sec() / 1e9) +
+                 " GFLOPS");
+    noc.push_back(c.butterfly_levels == 0 ? "pure MoT" : "hybrid");
+  }
+  d.set_header(header);
+  d.add_row(ch);
+  d.add_row(bw);
+  d.add_row(pk);
+  d.add_row(noc);
+  d.add_note("8k row reproduces Section V-B's 6.76 Tb/s; 128k x4 peak is "
+             "Table VI's 54 TFLOPS");
+  std::fputs(d.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Regenerates Table IV: FFT performance on XMT for a 512^3 single-precision
+// complex 3-D FFT (5 N log2 N GFLOPS at 3.3 GHz), with the per-phase
+// breakdown from the analytic performance model.
+#include <cstdio>
+
+#include "xsim/perf_model.hpp"
+#include "xutil/string_util.hpp"
+#include "xutil/table.hpp"
+#include "xutil/units.hpp"
+
+int main() {
+  const xfft::Dims3 dims{512, 512, 512};
+  const auto presets = xsim::paper_presets();
+  const double paper[] = {239.0, 500.0, 3667.0, 12570.0, 18972.0};
+
+  std::vector<xsim::FftPerfReport> reports;
+  reports.reserve(presets.size());
+  for (const auto& c : presets) {
+    reports.push_back(xsim::FftPerfModel(c).analyze_fft(dims));
+  }
+
+  xutil::Table t("TABLE IV: FFT PERFORMANCE ON XMT (512^3, single precision)");
+  std::vector<std::string> header = {"Configuration"};
+  for (const auto& c : presets) header.push_back(c.name);
+  t.set_header(header);
+  std::vector<std::string> model = {"GFLOPS (model)"};
+  std::vector<std::string> pap = {"GFLOPS (paper)"};
+  std::vector<std::string> err = {"delta"};
+  std::vector<std::string> ms = {"time (ms)"};
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    model.push_back(xutil::format_gflops(reports[i].standard_gflops));
+    pap.push_back(xutil::format_gflops(paper[i]));
+    err.push_back(xutil::format_fixed(
+                      100.0 * (reports[i].standard_gflops / paper[i] - 1.0),
+                      1) +
+                  "%");
+    ms.push_back(xutil::format_fixed(reports[i].total_seconds * 1e3, 2));
+  }
+  t.add_row(model);
+  t.add_row(pap);
+  t.add_row(err);
+  t.add_row(ms);
+  t.add_note("5 N log2 N convention; N = 2^27 -> 18.12 Gflop per transform");
+  std::fputs(t.render().c_str(), stdout);
+
+  // Per-phase breakdown for each configuration.
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    xutil::Table ph("PHASE BREAKDOWN: " + presets[i].name);
+    ph.set_header({"Phase", "ms", "bound", "GFLOPS (actual)",
+                   "intensity F/B", "DRAM GB (measured)"});
+    for (const auto& p : reports[i].phases) {
+      ph.add_row({p.name, xutil::format_fixed(p.seconds * 1e3, 3),
+                  xsim::bound_name(p.bound),
+                  xutil::format_gflops(p.actual_gflops),
+                  xutil::format_fixed(p.intensity, 3),
+                  xutil::format_fixed(p.dram_bytes_measured / 1e9, 2)});
+    }
+    std::fputs(ph.render().c_str(), stdout);
+  }
+  return 0;
+}

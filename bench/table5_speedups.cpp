@@ -1,0 +1,65 @@
+// Regenerates Table V: XMT FFT speedups relative to serial FFTW (one core
+// of a Xeon E5-2690) and to 32-thread FFTW (dual socket), plus the silicon
+// normalization remarks of Section VI-A.
+#include <cstdio>
+
+#include "xref/xeon.hpp"
+#include "xsim/perf_model.hpp"
+#include "xutil/string_util.hpp"
+#include "xutil/table.hpp"
+#include "xutil/units.hpp"
+
+int main() {
+  const xfft::Dims3 dims{512, 512, 512};
+  const auto presets = xsim::paper_presets();
+  const xref::XeonE5_2690 xeon;
+  const double paper_serial[] = {31.0, 66.0, 482.0, 1652.0, 2494.0};
+  const double paper_par[] = {2.8, 5.8, 43.0, 147.0, 222.0};
+
+  xutil::Table t("TABLE V: SPEEDUPS RELATIVE TO FFTW (512^3)");
+  std::vector<std::string> header = {"Configuration"};
+  for (const auto& c : presets) header.push_back(c.name);
+  t.set_header(header);
+  std::vector<std::string> s_model = {"vs serial (model)"};
+  std::vector<std::string> s_paper = {"vs serial (paper)"};
+  std::vector<std::string> p_model = {"vs 32 threads (model)"};
+  std::vector<std::string> p_paper = {"vs 32 threads (paper)"};
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    const auto r = xsim::FftPerfModel(presets[i]).analyze_fft(dims);
+    s_model.push_back(xutil::format_speedup(r.standard_gflops /
+                                            xeon.serial_fftw_gflops));
+    s_paper.push_back(xutil::format_speedup(paper_serial[i]));
+    p_model.push_back(xutil::format_speedup(r.standard_gflops /
+                                            xeon.parallel32_fftw_gflops));
+    p_paper.push_back(xutil::format_speedup(paper_par[i]));
+  }
+  t.add_row(s_model);
+  t.add_row(s_paper);
+  t.add_row(p_model);
+  t.add_row(p_paper);
+  t.add_note("reference throughputs: serial FFTW " +
+             xutil::format_fixed(xeon.serial_fftw_gflops, 2) +
+             " GFLOPS, 32-thread FFTW " +
+             xutil::format_fixed(xeon.parallel32_fftw_gflops, 1) +
+             " GFLOPS (calibration in xref/xeon.hpp)");
+  std::fputs(t.render().c_str(), stdout);
+
+  xutil::Table a("SECTION VI-A: SILICON ACCOUNTING");
+  a.set_header({"Quantity", "Value"});
+  a.set_align(1, xutil::Align::kRight);
+  a.add_row({"E5-2690 area at 32 nm",
+             xutil::format_area_mm2(xeon.silicon_area_mm2)});
+  a.add_row({"E5-2690 scaled to 22 nm",
+             xutil::format_area_mm2(xref::xeon_area_at_22nm_mm2(xeon))});
+  a.add_row({"4k XMT area (Table III)", xutil::format_area_mm2(227)});
+  a.add_row({"4k / one E5-2690",
+             xutil::format_fixed(227.0 / xref::xeon_area_at_22nm_mm2(xeon),
+                                 2) +
+                 "x"});
+  a.add_row({"4k / dual-socket FFTW system",
+             xutil::format_fixed(
+                 227.0 / (2.0 * xref::xeon_area_at_22nm_mm2(xeon)), 2) +
+                 "x (paper: 58%)"});
+  std::fputs(a.render().c_str(), stdout);
+  return 0;
+}

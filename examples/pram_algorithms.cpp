@@ -1,0 +1,92 @@
+// PRAM algorithms example: the algorithm class XMT exists for (Table I),
+// running on the XMTC programming model — scan, compaction, list ranking,
+// merging, radix sort.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "xmtc/runtime.hpp"
+#include "xpram/algorithms.hpp"
+#include "xutil/rng.hpp"
+
+int main() {
+  xmtc::Runtime rt;
+  bool all_ok = true;
+  const auto check = [&](const char* what, bool ok) {
+    std::printf("  %-34s %s\n", what, ok ? "PASS" : "FAIL");
+    all_ok = all_ok && ok;
+  };
+
+  // Prefix sums.
+  std::vector<std::int64_t> v(1000);
+  std::iota(v.begin(), v.end(), 1);
+  const auto scan = xpram::exclusive_scan(rt, v);
+  check("exclusive scan of 1..1000",
+        scan[999] == 999 * 1000 / 2 && scan[0] == 0);
+
+  // Compaction.
+  std::vector<std::uint8_t> keep(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) keep[i] = v[i] % 7 == 0;
+  const auto kept = xpram::compact_stable(rt, v, keep);
+  check("stable compaction (multiples of 7)",
+        kept.size() == 142 && kept.front() == 7 && kept.back() == 994);
+
+  // Reduction.
+  check("tree reduction", xpram::reduce_sum(rt, v) == 500500);
+
+  // List ranking on a shuffled linked list.
+  const std::size_t n = 512;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  xutil::Pcg32 rng(42);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    std::swap(order[i],
+              order[rng.next_below(static_cast<std::uint32_t>(i + 1))]);
+  }
+  std::vector<std::int64_t> next(n);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    next[order[k]] = static_cast<std::int64_t>(order[k + 1]);
+  }
+  next[order[n - 1]] = static_cast<std::int64_t>(order[n - 1]);
+  const auto rank = xpram::list_rank(rt, next);
+  bool rank_ok = true;
+  for (std::size_t k = 0; k < n; ++k) {
+    rank_ok = rank_ok &&
+              rank[order[k]] == static_cast<std::int64_t>(n - 1 - k);
+  }
+  check("pointer-jumping list ranking (512)", rank_ok);
+
+  // Merge.
+  std::vector<std::int64_t> a(300);
+  std::vector<std::int64_t> b(200);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<std::int64_t>(3 * i);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<std::int64_t>(5 * i);
+  const auto merged = xpram::parallel_merge(rt, a, b);
+  check("rank-based parallel merge",
+        std::is_sorted(merged.begin(), merged.end()) &&
+            merged.size() == 500);
+
+  // Radix sort from counting-sort passes.
+  std::vector<std::pair<std::int32_t, std::int64_t>> items;
+  for (int i = 0; i < 2000; ++i) {
+    items.emplace_back(0, static_cast<std::int64_t>(rng.next_u32() >> 1));
+  }
+  for (int pass = 0; pass < 4; ++pass) {
+    for (auto& [k, val] : items) {
+      k = static_cast<std::int32_t>((val >> (8 * pass)) & 0xFF);
+    }
+    items = xpram::counting_sort(rt, items, 256);
+  }
+  bool sorted = true;
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    sorted = sorted && items[i - 1].second <= items[i].second;
+  }
+  check("32-bit radix sort (2000 keys)", sorted);
+
+  std::printf("\nruntime stats: %llu spawns, %llu threads, %llu ps ops\n",
+              static_cast<unsigned long long>(rt.spawns()),
+              static_cast<unsigned long long>(rt.threads_run()),
+              static_cast<unsigned long long>(rt.ps_ops()));
+  return all_ok ? 0 : 1;
+}

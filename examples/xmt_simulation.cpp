@@ -1,0 +1,75 @@
+// Architecture-study example: sweep problem sizes across every XMT
+// configuration with the analytic model, then run one phase through the
+// cycle-level machine on a scaled-down configuration.
+//
+// This is the workflow the paper's evaluation uses: pick a configuration,
+// time the FFT's breadth-first iterations, read off where each phase sits
+// against the machine's Roofline.
+#include <cstdio>
+
+#include "xroof/roofline.hpp"
+#include "xsim/fft_traffic.hpp"
+#include "xsim/machine.hpp"
+#include "xsim/perf_model.hpp"
+#include "xutil/string_util.hpp"
+#include "xutil/table.hpp"
+#include "xutil/units.hpp"
+
+int main() {
+  // Strong-scaling style sweep: sizes x configurations.
+  xutil::Table t("3-D FFT GFLOPS (5NlogN) BY PROBLEM SIZE AND CONFIGURATION");
+  std::vector<std::string> header = {"Size"};
+  for (const auto& c : xsim::paper_presets()) header.push_back(c.name);
+  t.set_header(header);
+  for (const std::size_t side : {64u, 128u, 256u, 512u}) {
+    std::vector<std::string> row = {xutil::format_dims3(side, side, side)};
+    for (const auto& cfg : xsim::paper_presets()) {
+      const auto r = xsim::FftPerfModel(cfg).analyze_fft(
+          xfft::Dims3{side, side, side});
+      row.push_back(xutil::format_gflops(r.standard_gflops));
+    }
+    t.add_row(row);
+  }
+  t.add_note("small inputs cannot amortize spawn overhead or fill the "
+             "largest machines — the strong-scaling knee");
+  std::fputs(t.render().c_str(), stdout);
+
+  // Roofline placement for a chosen configuration.
+  const auto cfg = xsim::preset_64k();
+  const auto report =
+      xsim::FftPerfModel(cfg).analyze_fft(xfft::Dims3{512, 512, 512});
+  const auto series = xroof::fft_series(cfg, report);
+  std::printf("\n%s roofline: ridge at %.2f FLOPs/byte\n", cfg.name.c_str(),
+              series.platform.ridge_intensity());
+  for (const auto& m : series.markers) {
+    std::printf("  %-12s intensity %.3f  %8.0f GFLOPS  (%.1f%% of roofline)\n",
+                m.label.c_str(), m.intensity, m.gflops,
+                100.0 * m.fraction_of_roofline);
+  }
+
+  // Cycle-level machine on a scaled-down configuration.
+  xsim::MachineConfig mini;
+  mini.name = "mini-16";
+  mini.clusters = 16;
+  mini.tcus = 16 * 32;
+  mini.memory_modules = 16;
+  mini.mot_levels = 4;
+  mini.butterfly_levels = 4;
+  mini.mms_per_dram_ctrl = 4;
+  mini.fpus_per_cluster = 2;
+  mini.cache_bytes_per_mm = 32 * 1024;
+  mini.validate();
+
+  const xfft::Dims3 dims{64, 64, 1};
+  const auto phases = xfft::build_fft_phases(dims, 8);
+  xsim::Machine machine(mini);
+  std::printf("\ncycle-level run of a 64x64 FFT on %s:\n", mini.name.c_str());
+  for (const auto& ph : phases) {
+    const auto r = machine.run_parallel_section(
+        ph.threads, xsim::make_fft_phase_generator(mini, dims, ph));
+    std::printf("  %-14s %8llu cycles  hit-rate %.2f  dram-util %.2f\n",
+                ph.name.c_str(), static_cast<unsigned long long>(r.cycles),
+                r.cache_hit_rate(), r.dram_utilization);
+  }
+  return 0;
+}

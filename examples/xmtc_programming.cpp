@@ -1,0 +1,74 @@
+// Programming-model example: the XMTC constructs (spawn / prefix-sum /
+// sspawn) and the paper's FFT written against them.
+//
+// Section IV-B's claim: "the tuning described above required only a modest
+// effort beyond that required for a serial implementation" — the whole
+// parallel FFT is spawn loops over the serial butterfly.
+#include <cstdio>
+#include <vector>
+
+#include "xfft/dft_reference.hpp"
+#include "xmtc/fft_xmtc.hpp"
+#include "xmtc/runtime.hpp"
+
+int main() {
+  xmtc::Runtime rt;
+
+  // --- spawn + ps: the canonical XMT array-compaction idiom -------------
+  std::vector<int> input(64);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<int>(i * 7 % 13);
+  }
+  std::vector<int> big(input.size(), 0);
+  std::int64_t cursor = 0;  // global register
+  rt.spawn(0, static_cast<std::int64_t>(input.size()) - 1,
+           [&](xmtc::Thread& t) {
+             if (input[t.id()] > 6) {
+               const std::int64_t slot = t.ps(cursor, 1);
+               big[static_cast<std::size_t>(slot)] = input[t.id()];
+             }
+           });
+  std::printf("compaction with ps: kept %lld of %zu elements\n",
+              static_cast<long long>(cursor), input.size());
+
+  // --- sspawn: nested parallelism ---------------------------------------
+  std::int64_t touched = 0;
+  rt.spawn(0, 3, [&](xmtc::Thread& t) {
+    t.psm(touched, 1);
+    t.sspawn([&](xmtc::Thread& nested) { nested.psm(touched, 1); });
+  });
+  std::printf("sspawn: %lld thread bodies ran (4 spawned + 4 nested)\n",
+              static_cast<long long>(touched));
+
+  // --- the paper's FFT in XMTC ------------------------------------------
+  const xfft::Dims3 dims{64, 32, 16};
+  std::vector<xfft::Cf> data(dims.total());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = xfft::Cf(static_cast<float>(i % 17) / 17.0F,
+                       static_cast<float>(i % 5) / 5.0F);
+  }
+  const auto original = data;
+
+  const auto stats = xmtc::fftnd_xmtc(rt, std::span<xfft::Cf>(data), dims,
+                                      xfft::Direction::kForward);
+  std::printf("\nXMTC 3-D FFT of %zux%zux%zu:\n", dims.nx, dims.ny, dims.nz);
+  std::printf("  %llu spawns (breadth-first iterations + copy-back)\n",
+              static_cast<unsigned long long>(stats.spawns));
+  std::printf("  %llu virtual threads, %llu twiddle LUT reads, "
+              "%llu table decimations\n",
+              static_cast<unsigned long long>(stats.threads),
+              static_cast<unsigned long long>(stats.twiddle_reads),
+              static_cast<unsigned long long>(stats.table_decimations));
+
+  // Round-trip check.
+  xmtc::fftnd_xmtc(rt, std::span<xfft::Cf>(data), dims,
+                   xfft::Direction::kInverse);
+  float max_err = 0.0F;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    max_err = std::max(max_err, std::abs(data[i] - original[i]));
+  }
+  std::printf("  forward+inverse round-trip max error: %.2e  %s\n",
+              static_cast<double>(max_err),
+              max_err < 1e-4F ? "PASS" : "FAIL");
+  return max_err < 1e-4F ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Bluestein's chirp-z algorithm: an O(N log N) DFT for ANY length N,
+// including primes, built from a power-of-two circular convolution.
+//
+// The mixed-radix Plan1D covers smooth sizes; Bluestein closes the gap so
+// the library, like FFTW, accepts arbitrary lengths. Identity:
+//   X[k] = c*(k) * sum_n [ x[n] c*(n) ] * c(k-n),   c(m) = e^{i pi m^2 / N}
+// i.e. a modulation, a circular convolution with the chirp, and another
+// modulation; the convolution runs at length M = next_pow2(2N-1).
+#pragma once
+
+#include <span>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// In-place DFT of arbitrary length via the chirp-z transform.
+/// Forward computes the unscaled DFT; inverse the unscaled inverse sum
+/// (divide by N yourself or use scaling on plan-based paths).
+void fft_bluestein(std::span<Cf> data, Direction dir);
+
+/// True if Plan1D handles `n` directly (all prime factors <= kMaxRadix);
+/// false means fft_any would route through Bluestein.
+[[nodiscard]] bool is_smooth_size(std::size_t n);
+
+/// Convenience: picks Plan1D for smooth sizes, Bluestein otherwise.
+/// Unscaled in both directions.
+void fft_any(std::span<Cf> data, Direction dir);
+
+}  // namespace xfft

@@ -1,0 +1,80 @@
+#include "xfft/convolution.hpp"
+
+#include "xfft/fftnd.hpp"
+#include "xfft/plan1d.hpp"
+#include "xutil/check.hpp"
+
+namespace xfft {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<Cf> circular_convolve(std::span<const Cf> a,
+                                  std::span<const Cf> b) {
+  XU_CHECK_MSG(a.size() == b.size(), "operands must have equal length");
+  const std::size_t n = a.size();
+  std::vector<Cf> fa(a.begin(), a.end());
+  std::vector<Cf> fb(b.begin(), b.end());
+  Plan1D<float> fwd(n, Direction::kForward,
+                    PlanOptions{.scaling = Scaling::kNone});
+  fwd.execute(std::span<Cf>(fa));
+  fwd.execute(std::span<Cf>(fb));
+  for (std::size_t k = 0; k < n; ++k) fa[k] *= fb[k];
+  Plan1D<float> inv(n, Direction::kInverse,
+                    PlanOptions{.scaling = Scaling::kUnitary1OverN});
+  inv.execute(std::span<Cf>(fa));
+  return fa;
+}
+
+std::vector<Cf> circular_convolve_direct(std::span<const Cf> a,
+                                         std::span<const Cf> b) {
+  XU_CHECK(a.size() == b.size());
+  const std::size_t n = a.size();
+  std::vector<Cf> out(n, Cf{0.0F, 0.0F});
+  for (std::size_t k = 0; k < n; ++k) {
+    Cf acc{0.0F, 0.0F};
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += a[j] * b[(k + n - j) % n];
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<float> linear_convolve(std::span<const float> a,
+                                   std::span<const float> b) {
+  XU_CHECK(!a.empty() && !b.empty());
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  std::vector<Cf> pa(n, Cf{0.0F, 0.0F});
+  std::vector<Cf> pb(n, Cf{0.0F, 0.0F});
+  for (std::size_t i = 0; i < a.size(); ++i) pa[i] = Cf(a[i], 0.0F);
+  for (std::size_t i = 0; i < b.size(); ++i) pb[i] = Cf(b[i], 0.0F);
+  const std::vector<Cf> conv = circular_convolve(pa, pb);
+  std::vector<float> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = conv[i].real();
+  return out;
+}
+
+std::vector<Cf> circular_convolve_2d(std::span<const Cf> image,
+                                     std::span<const Cf> kernel,
+                                     std::size_t nx, std::size_t ny) {
+  XU_CHECK(image.size() == nx * ny && kernel.size() == nx * ny);
+  std::vector<Cf> fi(image.begin(), image.end());
+  std::vector<Cf> fk(kernel.begin(), kernel.end());
+  const Dims3 dims{nx, ny, 1};
+  PlanND<float> fwd(dims, Direction::kForward,
+                    PlanND<float>::Options{.scaling = Scaling::kNone});
+  fwd.execute(std::span<Cf>(fi));
+  fwd.execute(std::span<Cf>(fk));
+  for (std::size_t k = 0; k < fi.size(); ++k) fi[k] *= fk[k];
+  PlanND<float> inv(dims, Direction::kInverse,
+                    PlanND<float>::Options{.scaling = Scaling::kUnitary1OverN});
+  inv.execute(std::span<Cf>(fi));
+  return fi;
+}
+
+}  // namespace xfft

@@ -1,0 +1,39 @@
+// FFT-based circular and linear convolution (1-D and 2-D).
+//
+// Used by the examples (spectral filtering, image convolution) and by the
+// property tests that check the convolution theorem against direct O(N^2)
+// evaluation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// Circular convolution of equal-length complex vectors via the FFT:
+/// out[k] = sum_j a[j] * b[(k - j) mod n]. Length must be a supported
+/// (smooth) FFT size.
+std::vector<Cf> circular_convolve(std::span<const Cf> a,
+                                  std::span<const Cf> b);
+
+/// Linear convolution of real signals via zero-padded FFT; result length is
+/// a.size() + b.size() - 1.
+std::vector<float> linear_convolve(std::span<const float> a,
+                                   std::span<const float> b);
+
+/// Direct O(N^2) circular convolution (test oracle).
+std::vector<Cf> circular_convolve_direct(std::span<const Cf> a,
+                                         std::span<const Cf> b);
+
+/// 2-D circular convolution of `image` (ny rows of nx, x fastest) with an
+/// equal-size kernel, via the 2-D FFT.
+std::vector<Cf> circular_convolve_2d(std::span<const Cf> image,
+                                     std::span<const Cf> kernel,
+                                     std::size_t nx, std::size_t ny);
+
+/// Smallest power of two >= n (zero-padding helper).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+}  // namespace xfft

@@ -1,0 +1,88 @@
+#include "xfft/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "xfft/plan1d.hpp"
+#include "xutil/check.hpp"
+
+namespace xfft {
+
+namespace {
+
+Cd rot(double angle) { return {std::cos(angle), std::sin(angle)}; }
+
+}  // namespace
+
+void dct2(std::span<const float> in, std::span<float> out) {
+  const std::size_t n = in.size();
+  XU_CHECK(out.size() == n);
+  XU_CHECK_MSG(in.data() != out.data(), "dct2 must not alias");
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  // Makhoul reordering: evens ascending, then odds descending.
+  std::vector<Cf> v(n, Cf{0.0F, 0.0F});
+  for (std::size_t i = 0; 2 * i < n; ++i) v[i] = Cf(in[2 * i], 0.0F);
+  for (std::size_t i = 0; 2 * i + 1 < n; ++i) {
+    v[n - 1 - i] = Cf(in[2 * i + 1], 0.0F);
+  }
+  Plan1D<float> plan(n, Direction::kForward,
+                     PlanOptions{.scaling = Scaling::kNone});
+  plan.execute(std::span<Cf>(v));
+  // y[k] = Re( V[k] * e^{-i pi k / (2N)} ).
+  for (std::size_t k = 0; k < n; ++k) {
+    const Cd w = rot(-std::numbers::pi * static_cast<double>(k) /
+                     (2.0 * static_cast<double>(n)));
+    const Cd V{v[k].real(), v[k].imag()};
+    out[k] = static_cast<float>((V * w).real());
+  }
+}
+
+void idct2(std::span<const float> in, std::span<float> out) {
+  const std::size_t n = in.size();
+  XU_CHECK(out.size() == n);
+  XU_CHECK_MSG(in.data() != out.data(), "idct2 must not alias");
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  // Rebuild the FFT spectrum: V[k] = (y[k] - i y[N-k]) e^{+i pi k/(2N)},
+  // with y[N] := 0.
+  std::vector<Cf> v(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ynk = k == 0 ? 0.0 : static_cast<double>(in[n - k]);
+    const Cd w = rot(std::numbers::pi * static_cast<double>(k) /
+                     (2.0 * static_cast<double>(n)));
+    const Cd V = Cd{static_cast<double>(in[k]), -ynk} * w;
+    v[k] = Cf(static_cast<float>(V.real()), static_cast<float>(V.imag()));
+  }
+  Plan1D<float> plan(n, Direction::kInverse,
+                     PlanOptions{.scaling = Scaling::kUnitary1OverN});
+  plan.execute(std::span<Cf>(v));
+  // Undo the even/odd reordering.
+  for (std::size_t i = 0; 2 * i < n; ++i) out[2 * i] = v[i].real();
+  for (std::size_t i = 0; 2 * i + 1 < n; ++i) {
+    out[2 * i + 1] = v[n - 1 - i].real();
+  }
+}
+
+void dct2_reference(std::span<const double> in, std::span<double> out) {
+  const std::size_t n = in.size();
+  XU_CHECK(out.size() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += in[t] * std::cos(std::numbers::pi * static_cast<double>(k) *
+                              (2.0 * static_cast<double>(t) + 1.0) /
+                              (2.0 * static_cast<double>(n)));
+    }
+    out[k] = acc;
+  }
+}
+
+}  // namespace xfft

@@ -1,0 +1,26 @@
+// Discrete cosine transforms built on the complex FFT (Makhoul's N-point
+// algorithm): the standard companion transform for real, even-symmetric
+// data (spectral methods with Neumann boundaries, compression).
+//
+// Conventions:
+//   dct2(x)[k]  = sum_{n=0}^{N-1} x[n] cos(pi k (2n+1) / (2N))
+//   idct2 inverts dct2 exactly (round trip is the identity).
+//   The classical DCT-III equals (N/2) * idct2.
+#pragma once
+
+#include <span>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// Forward DCT-II via one N-point complex FFT. in/out may not alias.
+void dct2(std::span<const float> in, std::span<float> out);
+
+/// Exact inverse of dct2. in/out may not alias.
+void idct2(std::span<const float> in, std::span<float> out);
+
+/// O(N^2) reference DCT-II (test oracle), double precision.
+void dct2_reference(std::span<const double> in, std::span<double> out);
+
+}  // namespace xfft

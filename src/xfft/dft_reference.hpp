@@ -1,0 +1,31 @@
+// Naive O(N^2) discrete Fourier transform, always computed in double
+// precision. This is the test oracle for every fast transform in the library
+// and works for any size (not just powers of two).
+#pragma once
+
+#include <span>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// out[k] = sum_n in[n] * exp(sign * 2*pi*i*k*n/N); forward sign is -1.
+/// in and out must have equal length and must not alias.
+void dft_reference(std::span<const Cd> in, std::span<Cd> out, Direction dir);
+
+/// Convenience overloads that up-convert float data to double, transform,
+/// and round back, so single-precision results can be checked against a
+/// double-precision oracle.
+void dft_reference(std::span<const Cf> in, std::span<Cf> out, Direction dir);
+
+/// Row-column oracle for 2-D/3-D transforms; layout x fastest.
+/// Applies dft_reference along x, then y, then z. No scaling.
+void dft_reference_3d(std::span<const Cd> in, std::span<Cd> out, Dims3 dims,
+                      Direction dir);
+
+/// Scales data by 1/N (used to realize unitary inverse round-trips on the
+/// oracle path).
+void scale_by_1_over_n(std::span<Cd> data);
+void scale_by_1_over_n(std::span<Cf> data);
+
+}  // namespace xfft

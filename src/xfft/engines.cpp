@@ -1,0 +1,144 @@
+#include "xfft/engines.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "xfft/plan1d.hpp"
+#include "xfft/twiddle.hpp"
+#include "xutil/check.hpp"
+#include "xutil/units.hpp"
+
+namespace xfft {
+
+namespace {
+
+template <typename T>
+std::complex<T> root(std::size_t k, std::size_t n, Direction dir) {
+  const double sign = dir == Direction::kForward ? -1.0 : 1.0;
+  const double a =
+      sign * 2.0 * std::numbers::pi * static_cast<double>(k) /
+      static_cast<double>(n);
+  return {static_cast<T>(std::cos(a)), static_cast<T>(std::sin(a))};
+}
+
+template <typename T>
+void dit_recurse(std::complex<T>* data, std::size_t n, std::size_t stride,
+                 std::complex<T>* work, const TwiddleTable<T>& tw,
+                 std::size_t tw_n) {
+  if (n == 1) return;
+  const std::size_t half = n / 2;
+  // Depth-first: fully solve the even then the odd subproblem.
+  dit_recurse(data, half, stride * 2, work, tw, tw_n);
+  dit_recurse(data + stride, half, stride * 2, work, tw, tw_n);
+  // Combine: X[k] = E[k] + w^k O[k]; X[k+half] = E[k] - w^k O[k].
+  const std::size_t tw_stride = tw_n / n;
+  for (std::size_t k = 0; k < half; ++k) {
+    const std::complex<T> e = data[2 * k * stride];
+    const std::complex<T> o = data[(2 * k + 1) * stride] * tw[k * tw_stride];
+    work[k] = e + o;
+    work[k + half] = e - o;
+  }
+  for (std::size_t k = 0; k < n; ++k) data[k * stride] = work[k];
+}
+
+}  // namespace
+
+template <typename T>
+void fft_radix2_dit_recursive(std::span<std::complex<T>> data, Direction dir) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  XU_CHECK_MSG(xutil::is_pow2(n), "size must be a power of two, got " << n);
+  const TwiddleTable<T> tw(n, dir);
+  std::vector<std::complex<T>> work(n);
+  dit_recurse(data.data(), n, 1, work.data(), tw, n);
+}
+
+template <typename T>
+void fft_stockham(std::span<std::complex<T>> data, Direction dir) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  XU_CHECK_MSG(xutil::is_pow2(n), "size must be a power of two, got " << n);
+  const TwiddleTable<T> tw(n, dir);
+  std::vector<std::complex<T>> buf(n);
+  std::complex<T>* src = data.data();
+  std::complex<T>* dst = buf.data();
+  // Stockham DIT: at step with l sub-transforms of length m (l*m*2 <= n),
+  // combine pairs and write to the transposed layout so the final result
+  // lands in natural order with no reorder pass.
+  std::size_t m = 1;  // current sub-transform length in src
+  while (m < n) {
+    const std::size_t l = n / (2 * m);  // pairs of sub-transforms
+    const std::size_t tw_stride = n / (2 * m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::complex<T> w = tw[j * tw_stride];
+      for (std::size_t i = 0; i < l; ++i) {
+        const std::complex<T> a = src[j * 2 * l + i];
+        const std::complex<T> b = src[j * 2 * l + l + i] * w;
+        dst[j * l + i] = a + b;
+        dst[(j + m) * l + i] = a - b;
+      }
+    }
+    std::swap(src, dst);
+    m *= 2;
+  }
+  if (src != data.data()) {
+    std::copy(src, src + n, data.data());
+  }
+}
+
+template <typename T>
+void fft_four_step(std::span<std::complex<T>> data, Direction dir,
+                   std::size_t leaf_size) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  XU_CHECK_MSG(xutil::is_pow2(n), "size must be a power of two, got " << n);
+  XU_CHECK(leaf_size >= 2);
+  if (n <= leaf_size) {
+    Plan1D<T> leaf(n, dir, PlanOptions{.max_radix = 8,
+                                       .scaling = Scaling::kNone});
+    leaf.execute(data);
+    return;
+  }
+  // Split n = n1 * n2 with n1 <= n2, both powers of two (n1 ~ sqrt(n)).
+  const unsigned lg = xutil::log2_exact(n);
+  const std::size_t n1 = std::size_t{1} << (lg / 2);
+  const std::size_t n2 = n / n1;
+
+  // View data as an n1 x n2 row-major matrix A[i][j] = data[i*n2 + j].
+  // Step 1: FFT each column (length n1, stride n2).
+  std::vector<std::complex<T>> col(n1);
+  for (std::size_t j = 0; j < n2; ++j) {
+    for (std::size_t i = 0; i < n1; ++i) col[i] = data[i * n2 + j];
+    fft_four_step(std::span<std::complex<T>>(col), dir, leaf_size);
+    for (std::size_t i = 0; i < n1; ++i) data[i * n2 + j] = col[i];
+  }
+  // Step 2: twiddle A[i][j] *= w_n^{i*j}.
+  const TwiddleTable<T> tw(n, dir);
+  for (std::size_t i = 1; i < n1; ++i) {
+    for (std::size_t j = 1; j < n2; ++j) {
+      data[i * n2 + j] *= tw[(i * j) % n];
+    }
+  }
+  // Step 3: FFT each row (length n2, contiguous).
+  for (std::size_t i = 0; i < n1; ++i) {
+    fft_four_step(data.subspan(i * n2, n2), dir, leaf_size);
+  }
+  // Step 4: transpose — X[k1 + n1*k2] = A[k1][k2].
+  std::vector<std::complex<T>> out(n);
+  for (std::size_t k1 = 0; k1 < n1; ++k1) {
+    for (std::size_t k2 = 0; k2 < n2; ++k2) {
+      out[k1 + n1 * k2] = data[k1 * n2 + k2];
+    }
+  }
+  std::copy(out.begin(), out.end(), data.begin());
+}
+
+template void fft_radix2_dit_recursive<float>(std::span<Cf>, Direction);
+template void fft_radix2_dit_recursive<double>(std::span<Cd>, Direction);
+template void fft_stockham<float>(std::span<Cf>, Direction);
+template void fft_stockham<double>(std::span<Cd>, Direction);
+template void fft_four_step<float>(std::span<Cf>, Direction, std::size_t);
+template void fft_four_step<double>(std::span<Cd>, Direction, std::size_t);
+
+}  // namespace xfft

@@ -1,0 +1,48 @@
+// Alternative 1-D FFT engines.
+//
+// These exist as baselines and ablation subjects for the design choices the
+// paper discusses in Section IV-A (depth-first vs breadth-first, recursion
+// vs iteration, locality vs parallelism):
+//
+//  - fft_radix2_dit_recursive: the textbook depth-first Cooley-Tukey.
+//  - fft_stockham:             breadth-first autosort (no reorder pass).
+//  - fft_four_step:            cache-oblivious-style sqrt(N) decomposition
+//                              (Frigo et al. [29] in the paper).
+// All operate on power-of-two sizes, forward or inverse (no scaling).
+#pragma once
+
+#include <span>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// Depth-first recursive radix-2 decimation-in-time FFT.
+/// `data` length must be a power of two; transforms in place.
+template <typename T>
+void fft_radix2_dit_recursive(std::span<std::complex<T>> data, Direction dir);
+
+/// Breadth-first Stockham autosort radix-2 FFT: ping-pongs between `data`
+/// and an internal buffer so no digit-reversal pass is needed. In place from
+/// the caller's point of view.
+template <typename T>
+void fft_stockham(std::span<std::complex<T>> data, Direction dir);
+
+/// Four-step (Bailey) FFT: treats the length-n vector as an n1 x n2 matrix,
+/// transforms columns, applies inner twiddles, transforms rows, and
+/// transposes. Recurses until rows fit `leaf_size`, giving the
+/// cache-oblivious working-set behaviour the paper contrasts with the
+/// breadth-first XMT implementation.
+template <typename T>
+void fft_four_step(std::span<std::complex<T>> data, Direction dir,
+                   std::size_t leaf_size = 64);
+
+extern template void fft_radix2_dit_recursive<float>(std::span<Cf>, Direction);
+extern template void fft_radix2_dit_recursive<double>(std::span<Cd>,
+                                                      Direction);
+extern template void fft_stockham<float>(std::span<Cf>, Direction);
+extern template void fft_stockham<double>(std::span<Cd>, Direction);
+extern template void fft_four_step<float>(std::span<Cf>, Direction, std::size_t);
+extern template void fft_four_step<double>(std::span<Cd>, Direction, std::size_t);
+
+}  // namespace xfft

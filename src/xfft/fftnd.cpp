@@ -1,0 +1,163 @@
+#include "xfft/fftnd.hpp"
+
+#include <algorithm>
+
+#include "xutil/check.hpp"
+
+namespace xfft {
+
+template <typename T>
+void rotate_axes(std::span<const std::complex<T>> src,
+                 std::span<std::complex<T>> dst, Dims3 dims) {
+  XU_CHECK(src.size() == dims.total() && dst.size() == dims.total());
+  XU_CHECK_MSG(src.data() != dst.data(), "rotate_axes must not alias");
+  const std::size_t d0 = dims.nx;
+  const std::size_t d1 = dims.ny;
+  const std::size_t d2 = dims.nz;
+  // dst logical dims are [d0][d2][d1] with d1 fastest.
+  for (std::size_t i2 = 0; i2 < d2; ++i2) {
+    for (std::size_t i1 = 0; i1 < d1; ++i1) {
+      const std::size_t src_base = (i2 * d1 + i1) * d0;
+      const std::size_t dst_base = i2 * d1 + i1;
+      for (std::size_t i0 = 0; i0 < d0; ++i0) {
+        dst[dst_base + i0 * d1 * d2] = src[src_base + i0];
+      }
+    }
+  }
+}
+
+template <typename T>
+PlanND<T>::PlanND(Dims3 dims, Direction dir, Options opt)
+    : dims_(dims), dir_(dir), opt_(opt) {
+  XU_CHECK_MSG(dims.nx >= 1 && dims.ny >= 1 && dims.nz >= 1,
+               "all dimensions must be >= 1");
+  const std::size_t lens[3] = {dims.nx, dims.ny, dims.nz};
+  for (int axis = 0; axis < 3; ++axis) {
+    int found = -1;
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      if (plans_[p]->size() == lens[axis]) {
+        found = static_cast<int>(p);
+        break;
+      }
+    }
+    if (found < 0) {
+      plans_.push_back(std::make_unique<Plan1D<T>>(
+          lens[axis], dir,
+          PlanOptions{.max_radix = opt_.max_radix, .scaling = Scaling::kNone}));
+      found = static_cast<int>(plans_.size()) - 1;
+    }
+    plan_of_axis_[static_cast<std::size_t>(axis)] = found;
+  }
+  scratch_.resize(dims.total());
+}
+
+template <typename T>
+const Plan1D<T>& PlanND<T>::axis_plan(int axis) const {
+  XU_CHECK(axis >= 0 && axis < 3);
+  return *plans_[static_cast<std::size_t>(
+      plan_of_axis_[static_cast<std::size_t>(axis)])];
+}
+
+template <typename T>
+std::uint64_t PlanND<T>::actual_flops() const {
+  std::uint64_t total = 0;
+  const std::size_t n = dims_.total();
+  for (int axis = 0; axis < 3; ++axis) {
+    const Plan1D<T>& p = axis_plan(axis);
+    if (p.size() <= 1) continue;
+    total += (n / p.size()) * p.actual_flops();
+  }
+  return total;
+}
+
+template <typename T>
+void PlanND<T>::apply_scaling(std::span<std::complex<T>> data) const {
+  if (dir_ == Direction::kInverse && opt_.scaling == Scaling::kUnitary1OverN) {
+    const T s = T(1) / static_cast<T>(dims_.total());
+    for (auto& x : data) x *= s;
+  }
+}
+
+template <typename T>
+void PlanND<T>::execute(std::span<std::complex<T>> data) const {
+  XU_CHECK_MSG(data.size() == dims_.total(),
+               "buffer length " << data.size() << " != " << dims_.total());
+  if (dims_.rank() == 1) {
+    // No rotation needed for 1-D; run the row plan directly.
+    if (dims_.nx > 1) axis_plan(0).execute(data);
+    apply_scaling(data);
+    return;
+  }
+  if (opt_.rotation == RotationMode::kFusedRotation) {
+    execute_fused(data);
+  } else {
+    execute_separate(data);
+  }
+  apply_scaling(data);
+}
+
+template <typename T>
+void PlanND<T>::execute_separate(std::span<std::complex<T>> data) const {
+  Dims3 cur = dims_;
+  std::complex<T>* src = data.data();
+  std::complex<T>* dst = scratch_.data();
+  const std::size_t n = dims_.total();
+  const std::size_t axis_len[3] = {dims_.nx, dims_.ny, dims_.nz};
+  for (int pass = 0; pass < 3; ++pass) {
+    const Plan1D<T>* plan = nullptr;
+    if (axis_len[pass] > 1) {
+      plan = &axis_plan(pass);
+      const std::size_t rows = n / cur.nx;
+      for (std::size_t row = 0; row < rows; ++row) {
+        plan->execute(
+            std::span<std::complex<T>>(src + row * cur.nx, cur.nx));
+      }
+    }
+    rotate_axes(std::span<const std::complex<T>>(src, n),
+                std::span<std::complex<T>>(dst, n), cur);
+    std::swap(src, dst);
+    cur = Dims3{cur.ny, cur.nz, cur.nx};
+  }
+  // Three ping-pong swaps leave the result in the scratch buffer.
+  if (src != data.data()) {
+    std::copy(src, src + n, data.data());
+  }
+}
+
+template <typename T>
+void PlanND<T>::execute_fused(std::span<std::complex<T>> data) const {
+  Dims3 cur = dims_;
+  std::complex<T>* src = data.data();
+  std::complex<T>* dst = scratch_.data();
+  const std::size_t n = dims_.total();
+  const std::size_t axis_len[3] = {dims_.nx, dims_.ny, dims_.nz};
+  for (int pass = 0; pass < 3; ++pass) {
+    const std::size_t rows = n / cur.nx;
+    if (axis_len[pass] > 1) {
+      const Plan1D<T>& plan = axis_plan(pass);
+      // Each row's final iteration scatters straight into the rotated
+      // array: frequency k of row (i1, i2) lands at k*(d1*d2) + i2*d1 + i1.
+      const std::size_t stride = cur.ny * cur.nz;
+      for (std::size_t row = 0; row < rows; ++row) {
+        plan.execute_scatter_affine(
+            std::span<std::complex<T>>(src + row * cur.nx, cur.nx),
+            std::span<std::complex<T>>(dst, n), row, stride);
+      }
+    } else {
+      rotate_axes(std::span<const std::complex<T>>(src, n),
+                  std::span<std::complex<T>>(dst, n), cur);
+    }
+    std::swap(src, dst);
+    cur = Dims3{cur.ny, cur.nz, cur.nx};
+  }
+  if (src != data.data()) {
+    std::copy(src, src + n, data.data());
+  }
+}
+
+template void rotate_axes<float>(std::span<const Cf>, std::span<Cf>, Dims3);
+template void rotate_axes<double>(std::span<const Cd>, std::span<Cd>, Dims3);
+template class PlanND<float>;
+template class PlanND<double>;
+
+}  // namespace xfft

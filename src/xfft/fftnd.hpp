@@ -1,0 +1,95 @@
+// Multi-dimensional FFT plans (Section IV of the paper).
+//
+// The paper's algorithm: "our multidimensional FFT implementation consists
+// of two phases that are executed once per dimension. First, the FFT of each
+// row is computed. Second, the axes of the array are rotated so that the
+// next time the FFT is applied to the rows of the array, it will actually
+// compute the FFT of what was originally the columns. ... In our
+// implementation, the rotation is combined with the last iteration of the
+// computation to reduce the number of synchronization points and round
+// trips to memory."
+//
+// Both variants are provided: kSeparate performs an explicit rotation pass
+// after each dimension's row FFTs, kFusedRotation scatters the last
+// butterfly iteration's output directly into the rotated array.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "xfft/plan1d.hpp"
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// How the axis rotation (generalized transpose) is realized.
+enum class RotationMode {
+  kSeparate,       ///< row FFTs in place, then a dedicated rotation pass
+  kFusedRotation,  ///< last iteration scatters into the rotated array
+};
+
+/// Rotates axes of a 3-D array: dst[i0][i2][i1] = src[i2][i1][i0], where
+/// src has logical dims [d2][d1][d0] with d0 fastest. After the rotation the
+/// previously second-fastest axis (d1) is fastest, so row FFTs on dst
+/// transform what were columns of src. For 2-D arrays (d2 == 1) this is a
+/// matrix transpose. Three successive rotations restore the original layout.
+template <typename T>
+void rotate_axes(std::span<const std::complex<T>> src,
+                 std::span<std::complex<T>> dst, Dims3 dims);
+
+/// In-place N-dimensional FFT plan (rank 1, 2 or 3), natural layout in and
+/// out (x fastest). Like Plan1D, a plan is reusable but not concurrently
+/// executable (shared scratch).
+template <typename T>
+class PlanND {
+ public:
+  struct Options {
+    unsigned max_radix = 8;
+    Scaling scaling = Scaling::kUnitary1OverN;
+    RotationMode rotation = RotationMode::kFusedRotation;
+  };
+
+  PlanND(Dims3 dims, Direction dir, Options opt = {});
+
+  /// Transforms `data` (length dims.total(), x fastest) in place.
+  void execute(std::span<std::complex<T>> data) const;
+
+  [[nodiscard]] Dims3 dims() const { return dims_; }
+  [[nodiscard]] Direction direction() const { return dir_; }
+  [[nodiscard]] RotationMode rotation_mode() const { return opt_.rotation; }
+  /// Actual real FLOPs per execution across all dimensions' row FFTs.
+  [[nodiscard]] std::uint64_t actual_flops() const;
+  /// The 1-D plan used along axis `axis` (0 = x).
+  [[nodiscard]] const Plan1D<T>& axis_plan(int axis) const;
+
+ private:
+  void execute_separate(std::span<std::complex<T>> data) const;
+  void execute_fused(std::span<std::complex<T>> data) const;
+  void apply_scaling(std::span<std::complex<T>> data) const;
+
+  Dims3 dims_;
+  Direction dir_;
+  Options opt_;
+  // One plan per axis length (axes of equal length share a plan).
+  std::vector<std::unique_ptr<Plan1D<T>>> plans_;
+  std::array<int, 3> plan_of_axis_{};
+  mutable std::vector<std::complex<T>> scratch_;
+};
+
+/// Convenience aliases matching the paper's 2-D / 3-D usage.
+template <typename T>
+using Plan2D = PlanND<T>;
+template <typename T>
+using Plan3D = PlanND<T>;
+
+extern template void rotate_axes<float>(std::span<const Cf>, std::span<Cf>,
+                                        Dims3);
+extern template void rotate_axes<double>(std::span<const Cd>, std::span<Cd>,
+                                         Dims3);
+extern template class PlanND<float>;
+extern template class PlanND<double>;
+
+}  // namespace xfft

@@ -1,0 +1,54 @@
+// Digit-reversal permutations for iterative FFTs.
+//
+// A decimation-in-frequency FFT with stage radices (r1, r2, ..., rm) leaves
+// frequency k at the array position whose mixed-radix digits (most
+// significant first, bases r1..rm) equal k's digits written least significant
+// first with bases r1..rm. For the all-radix-2 case this reduces to classic
+// bit reversal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// Position in DIF output where frequency k lands, for stage radices
+/// `radices` whose product is n.
+[[nodiscard]] std::size_t dif_output_position(
+    std::size_t k, std::span<const unsigned> radices, std::size_t n);
+
+/// perm[k] = dif_output_position(k, radices, n) for all k.
+[[nodiscard]] std::vector<std::uint32_t> dif_output_permutation(
+    std::span<const unsigned> radices, std::size_t n);
+
+/// Classic bit reversal of `bits`-bit value v.
+[[nodiscard]] std::size_t bit_reverse(std::size_t v, unsigned bits);
+
+/// Gathers natural order out of a digit-reversed work array:
+/// out[k] = in[perm[k]]. in and out must not alias.
+template <typename T>
+void gather_permute(std::span<const std::complex<T>> in,
+                    std::span<std::complex<T>> out,
+                    std::span<const std::uint32_t> perm);
+
+/// In-place permutation out[k] <- in[perm[k]] using cycle-following with a
+/// visited bitmap; O(n) time, O(n/8) extra bytes.
+template <typename T>
+void permute_in_place(std::span<std::complex<T>> data,
+                      std::span<const std::uint32_t> perm);
+
+extern template void gather_permute<float>(std::span<const Cf>,
+                                           std::span<Cf>,
+                                           std::span<const std::uint32_t>);
+extern template void gather_permute<double>(std::span<const Cd>,
+                                            std::span<Cd>,
+                                            std::span<const std::uint32_t>);
+extern template void permute_in_place<float>(std::span<Cf>,
+                                             std::span<const std::uint32_t>);
+extern template void permute_in_place<double>(std::span<Cd>,
+                                              std::span<const std::uint32_t>);
+
+}  // namespace xfft

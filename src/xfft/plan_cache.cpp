@@ -1,0 +1,53 @@
+#include "xfft/plan_cache.hpp"
+
+namespace xfft {
+
+std::shared_ptr<Plan1D<float>> PlanCache::plan_1d(std::size_t n,
+                                                  Direction dir,
+                                                  PlanOptions opt) {
+  const Key1D key{n, dir, opt.max_radix, opt.scaling};
+  const auto it = cache_1d_.find(key);
+  if (it != cache_1d_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto plan = std::make_shared<Plan1D<float>>(n, dir, opt);
+  cache_1d_.emplace(key, plan);
+  return plan;
+}
+
+std::shared_ptr<PlanND<float>> PlanCache::plan_nd(Dims3 dims, Direction dir,
+                                                  PlanND<float>::Options opt) {
+  const KeyND key{dims.nx,       dims.ny,     dims.nz,     dir,
+                  opt.max_radix, opt.scaling, opt.rotation};
+  const auto it = cache_nd_.find(key);
+  if (it != cache_nd_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto plan = std::make_shared<PlanND<float>>(dims, dir, opt);
+  cache_nd_.emplace(key, plan);
+  return plan;
+}
+
+void PlanCache::clear() {
+  cache_1d_.clear();
+  cache_nd_.clear();
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+void fft_cached(std::span<Cf> data, Direction dir) {
+  PlanCache::global().plan_1d(data.size(), dir)->execute(data);
+}
+
+void fft_cached_nd(std::span<Cf> data, Dims3 dims, Direction dir) {
+  PlanCache::global().plan_nd(dims, dir)->execute(data);
+}
+
+}  // namespace xfft

@@ -1,0 +1,69 @@
+// Plan cache: FFTW-style amortization of plan construction.
+//
+// Twiddle tables and digit-reversal permutations dominate plan setup; a
+// cache keyed on (shape, direction, options) lets call sites that cannot
+// hold a plan (e.g. library internals, language bindings) still reuse
+// them. Plans are shared via shared_ptr; entries live until clear().
+//
+// Note Plan1D/PlanND execution is not thread-safe on a single instance
+// (shared scratch); the cache hands out shared instances, so concurrent
+// executors should each use their own cache or external locking.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "xfft/fftnd.hpp"
+#include "xfft/plan1d.hpp"
+
+namespace xfft {
+
+class PlanCache {
+ public:
+  /// Returns the cached 1-D plan for (n, dir, opt), creating it on miss.
+  std::shared_ptr<Plan1D<float>> plan_1d(std::size_t n, Direction dir,
+                                         PlanOptions opt = {});
+
+  /// Returns the cached N-D plan for (dims, dir, opt), creating on miss.
+  std::shared_ptr<PlanND<float>> plan_nd(Dims3 dims, Direction dir,
+                                         PlanND<float>::Options opt = {});
+
+  [[nodiscard]] std::size_t size() const {
+    return cache_1d_.size() + cache_nd_.size();
+  }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// Drops every cached plan (outstanding shared_ptrs stay valid).
+  void clear();
+
+  /// Process-wide cache for convenience call sites.
+  static PlanCache& global();
+
+ private:
+  struct Key1D {
+    std::size_t n;
+    Direction dir;
+    unsigned max_radix;
+    Scaling scaling;
+    auto operator<=>(const Key1D&) const = default;
+  };
+  struct KeyND {
+    std::size_t nx, ny, nz;
+    Direction dir;
+    unsigned max_radix;
+    Scaling scaling;
+    RotationMode rotation;
+    auto operator<=>(const KeyND&) const = default;
+  };
+  std::map<Key1D, std::shared_ptr<Plan1D<float>>> cache_1d_;
+  std::map<KeyND, std::shared_ptr<PlanND<float>>> cache_nd_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Convenience one-call transforms through the global cache.
+void fft_cached(std::span<Cf> data, Direction dir);
+void fft_cached_nd(std::span<Cf> data, Dims3 dims, Direction dir);
+
+}  // namespace xfft

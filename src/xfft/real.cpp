@@ -1,0 +1,73 @@
+#include "xfft/real.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "xfft/plan1d.hpp"
+#include "xutil/check.hpp"
+
+namespace xfft {
+
+namespace {
+
+Cf unit_root(std::size_t k, std::size_t n, double sign) {
+  const double a =
+      sign * 2.0 * std::numbers::pi * static_cast<double>(k) /
+      static_cast<double>(n);
+  return {static_cast<float>(std::cos(a)), static_cast<float>(std::sin(a))};
+}
+
+}  // namespace
+
+void rfft_forward(std::span<const float> in, std::span<Cf> out) {
+  const std::size_t n = in.size();
+  XU_CHECK_MSG(n >= 2 && n % 2 == 0, "rfft needs an even size >= 2");
+  XU_CHECK(out.size() == rfft_bins(n));
+  const std::size_t m = n / 2;
+
+  // Pack adjacent real pairs into complex samples and transform at half size.
+  std::vector<Cf> z(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    z[k] = Cf(in[2 * k], in[2 * k + 1]);
+  }
+  Plan1D<float> plan(m, Direction::kForward,
+                     PlanOptions{.scaling = Scaling::kNone});
+  plan.execute(std::span<Cf>(z));
+
+  // Split step: separate the spectra of the even and odd sample streams.
+  for (std::size_t k = 0; k <= m; ++k) {
+    const Cf zk = z[k % m];
+    const Cf zmk = std::conj(z[(m - k) % m]);
+    const Cf fe = (zk + zmk) * 0.5F;
+    const Cf fo_times_i = (zk - zmk) * 0.5F;       // i * Fo
+    const Cf fo = Cf(fo_times_i.imag(), -fo_times_i.real());
+    out[k] = fe + unit_root(k, n, -1.0) * fo;
+  }
+}
+
+void rfft_inverse(std::span<const Cf> in, std::span<float> out) {
+  const std::size_t n = out.size();
+  XU_CHECK_MSG(n >= 2 && n % 2 == 0, "rfft needs an even size >= 2");
+  XU_CHECK(in.size() == rfft_bins(n));
+  const std::size_t m = n / 2;
+
+  // Rebuild the packed half-size spectrum from the real spectrum.
+  std::vector<Cf> z(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const Cf xk = in[k];
+    const Cf xmk = std::conj(in[m - k]);
+    const Cf fe = (xk + xmk) * 0.5F;
+    const Cf fo = (xk - xmk) * 0.5F * unit_root(k, n, +1.0);
+    z[k] = fe + Cf(-fo.imag(), fo.real());  // fe + i*fo
+  }
+  Plan1D<float> plan(m, Direction::kInverse,
+                     PlanOptions{.scaling = Scaling::kUnitary1OverN});
+  plan.execute(std::span<Cf>(z));
+  for (std::size_t k = 0; k < m; ++k) {
+    out[2 * k] = z[k].real();
+    out[2 * k + 1] = z[k].imag();
+  }
+}
+
+}  // namespace xfft

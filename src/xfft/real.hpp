@@ -1,0 +1,29 @@
+// Real-input transforms built on the complex plans.
+//
+// An N-point real FFT is computed as an N/2-point complex FFT of the packed
+// even/odd samples followed by an O(N) split step — the standard trick that
+// halves both bandwidth and arithmetic, relevant on a bandwidth-bound
+// machine like XMT.
+#pragma once
+
+#include <span>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// Forward real-to-complex FFT. `in` has n real samples (n even, n/2 a
+/// supported complex size); `out` receives n/2+1 spectrum bins (indices
+/// 0..n/2 — the remaining bins are the conjugate mirror).
+void rfft_forward(std::span<const float> in, std::span<Cf> out);
+
+/// Inverse of rfft_forward: `in` holds n/2+1 bins, `out` receives n real
+/// samples scaled by 1/n (round-trip identity).
+void rfft_inverse(std::span<const Cf> in, std::span<float> out);
+
+/// Number of spectrum bins rfft_forward produces for n real samples.
+[[nodiscard]] constexpr std::size_t rfft_bins(std::size_t n) {
+  return n / 2 + 1;
+}
+
+}  // namespace xfft

@@ -1,0 +1,33 @@
+// Real-input multi-dimensional transforms (r2c / c2r).
+//
+// The r2c transform runs the packed real FFT along x (producing nx/2+1
+// bins) and complex FFTs along y and z — the layout FFTW users expect,
+// halving memory traffic for real fields (e.g. the Poisson right-hand
+// side). The c2r inverse reverses the steps; r2c followed by c2r is the
+// identity (c2r applies the 1/N normalization).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// Number of complex bins an r2c transform of dims produces:
+/// (nx/2 + 1) * ny * nz, x fastest.
+[[nodiscard]] constexpr std::size_t r2c_bins(Dims3 dims) {
+  return (dims.nx / 2 + 1) * dims.ny * dims.nz;
+}
+
+/// Forward real-to-complex N-D FFT. `in` has dims.total() real samples
+/// (x fastest, nx even); `out` receives r2c_bins(dims) spectrum values.
+void rfftnd_forward(std::span<const float> in, std::span<Cf> out,
+                    Dims3 dims);
+
+/// Inverse: consumes r2c_bins(dims) spectrum values, emits dims.total()
+/// real samples, normalized so the round trip is the identity.
+void rfftnd_inverse(std::span<const Cf> in, std::span<float> out,
+                    Dims3 dims);
+
+}  // namespace xfft

@@ -1,0 +1,90 @@
+#include "xfft/signal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "xutil/check.hpp"
+#include "xutil/rng.hpp"
+
+namespace xfft {
+
+std::vector<float> make_window(Window window, std::size_t n) {
+  XU_CHECK(n >= 1);
+  std::vector<float> w(n, 1.0F);
+  const double den = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 2.0 * std::numbers::pi * static_cast<double>(i) / den;
+    double v = 1.0;
+    switch (window) {
+      case Window::kRectangular:
+        v = 1.0;
+        break;
+      case Window::kHann:
+        v = 0.5 - 0.5 * std::cos(t);
+        break;
+      case Window::kHamming:
+        v = 0.54 - 0.46 * std::cos(t);
+        break;
+      case Window::kBlackman:
+        v = 0.42 - 0.5 * std::cos(t) + 0.08 * std::cos(2.0 * t);
+        break;
+    }
+    w[i] = static_cast<float>(v);
+  }
+  return w;
+}
+
+void apply_window(std::span<float> signal, std::span<const float> window) {
+  XU_CHECK(signal.size() == window.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
+}
+
+std::vector<float> synthesize_tones(
+    std::size_t n, std::span<const std::pair<double, double>> tones) {
+  std::vector<float> x(n, 0.0F);
+  for (const auto& [freq_bin, amplitude] : tones) {
+    const double w = 2.0 * std::numbers::pi * freq_bin / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += static_cast<float>(amplitude *
+                                 std::sin(w * static_cast<double>(i)));
+    }
+  }
+  return x;
+}
+
+void add_noise(std::span<float> signal, float amplitude, std::uint64_t seed) {
+  xutil::Pcg32 rng(seed);
+  for (auto& v : signal) v += amplitude * rng.next_signed_unit();
+}
+
+std::vector<float> magnitude(std::span<const Cf> spectrum) {
+  std::vector<float> mag(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    mag[i] = std::abs(spectrum[i]);
+  }
+  return mag;
+}
+
+std::size_t peak_bin(std::span<const float> mag, std::size_t lo,
+                     std::size_t hi) {
+  XU_CHECK(lo < hi && hi <= mag.size());
+  std::size_t best = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    if (mag[i] > mag[best]) best = i;
+  }
+  return best;
+}
+
+double energy(std::span<const Cf> x) {
+  double e = 0.0;
+  for (const auto& v : x) e += std::norm(Cd{v.real(), v.imag()});
+  return e;
+}
+
+double energy(std::span<const float> x) {
+  double e = 0.0;
+  for (const float v : x) e += static_cast<double>(v) * v;
+  return e;
+}
+
+}  // namespace xfft

@@ -1,0 +1,42 @@
+// Signal-processing helpers used by the examples and workload generators:
+// window functions, tone synthesis, spectrum utilities.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// Taper applied before a spectral analysis to control leakage.
+enum class Window { kRectangular, kHann, kHamming, kBlackman };
+
+/// w[i] for i in [0, n) of the requested window.
+[[nodiscard]] std::vector<float> make_window(Window window, std::size_t n);
+
+/// Applies a window in place (element-wise multiply).
+void apply_window(std::span<float> signal, std::span<const float> window);
+
+/// Synthesizes sum of sinusoids: for each (freq_bin, amplitude) pair, adds
+/// amplitude * sin(2*pi*freq_bin*i/n). Frequencies are in bins so tests can
+/// assert exact spectral peaks.
+[[nodiscard]] std::vector<float> synthesize_tones(
+    std::size_t n, std::span<const std::pair<double, double>> tones);
+
+/// Adds uniform noise in [-amplitude, amplitude] with a deterministic seed.
+void add_noise(std::span<float> signal, float amplitude, std::uint64_t seed);
+
+/// |X[k]| for each bin of a complex spectrum.
+[[nodiscard]] std::vector<float> magnitude(std::span<const Cf> spectrum);
+
+/// Index of the largest-magnitude bin in [lo, hi).
+[[nodiscard]] std::size_t peak_bin(std::span<const float> mag, std::size_t lo,
+                                   std::size_t hi);
+
+/// Total signal energy sum |x|^2 (Parseval checks).
+[[nodiscard]] double energy(std::span<const Cf> x);
+[[nodiscard]] double energy(std::span<const float> x);
+
+}  // namespace xfft

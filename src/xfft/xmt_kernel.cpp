@@ -1,0 +1,70 @@
+#include "xfft/xmt_kernel.hpp"
+
+#include "xfft/butterflies.hpp"
+#include "xfft/plan1d.hpp"
+#include "xutil/check.hpp"
+
+namespace xfft {
+
+std::vector<KernelPhase> build_fft_phases(Dims3 dims, unsigned max_radix) {
+  const std::size_t n = dims.total();
+  XU_CHECK_MSG(n >= 1, "empty transform");
+  const int rank = dims.rank();
+  const std::size_t axis_len[3] = {dims.nx, dims.ny, dims.nz};
+
+  std::vector<KernelPhase> phases;
+  for (int dim = 0; dim < 3; ++dim) {
+    const std::size_t len = axis_len[dim];
+    if (len <= 1) continue;
+    const std::vector<unsigned> radices = choose_radices(len, max_radix);
+    std::size_t block = len;
+    for (std::size_t s = 0; s < radices.size(); ++s) {
+      const unsigned r = radices[s];
+      const bool last = s + 1 == radices.size();
+      KernelPhase ph;
+      ph.dim = dim;
+      ph.iter = static_cast<int>(s);
+      ph.radix = r;
+      ph.rotation = last && rank >= 2;
+      ph.name = "dim" + std::to_string(dim) + ".iter" + std::to_string(s) +
+                (ph.rotation ? "+rot" : "");
+      ph.threads = n / r;
+
+      const std::uint64_t per_thread_reads = 2ULL * r;
+      const std::uint64_t per_thread_writes = 2ULL * r;
+      const std::uint64_t per_thread_twiddles = 2ULL * (r - 1);
+      ph.data_word_reads = ph.threads * per_thread_reads;
+      ph.data_word_writes = ph.threads * per_thread_writes;
+      ph.twiddle_word_reads = ph.threads * per_thread_twiddles;
+      ph.flops = ph.threads * (small_dft_flops(r) + 6ULL * (r - 1));
+      ph.int_instructions =
+          ph.threads *
+          (kAddrOpsPerAccess *
+               (per_thread_reads + per_thread_writes + per_thread_twiddles) +
+           kControlOpsPerThread);
+      // Iteration s of a DIF over a length-`len` row uses `block` distinct
+      // roots of unity (N first, then N/r, ... — Section IV-A).
+      ph.distinct_twiddles = block;
+      phases.push_back(std::move(ph));
+      block /= r;
+    }
+  }
+  XU_CHECK(!phases.empty() || n == 1);
+  return phases;
+}
+
+std::uint64_t phases_total_flops(std::span<const KernelPhase> phases) {
+  std::uint64_t total = 0;
+  for (const auto& ph : phases) total += ph.flops;
+  return total;
+}
+
+std::uint64_t phases_total_data_bytes(std::span<const KernelPhase> phases) {
+  std::uint64_t total = 0;
+  for (const auto& ph : phases) {
+    total += ph.data_bytes_read() + ph.data_bytes_written();
+  }
+  return total;
+}
+
+}  // namespace xfft

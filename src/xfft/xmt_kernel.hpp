@@ -1,0 +1,79 @@
+// Machine-independent description of the XMT FFT program.
+//
+// The paper's FFT (Section IV-A) runs as a sequence of breadth-first
+// iterations; within one iteration all N/r threads execute the same radix-r
+// butterfly kernel: read r complex points and r-1 twiddles, compute the
+// r-point DFT, apply twiddles, write r complex points (the last iteration
+// of each dimension writes through the axis rotation instead).
+//
+// A KernelPhase records the aggregate resource demands of one iteration.
+// Both simulator fidelities consume these: the analytic mode directly, the
+// cycle-level engine by expanding a phase into per-thread trace programs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xfft/types.hpp"
+
+namespace xfft {
+
+/// Bytes per data word; the paper's FFT is single-precision (4-byte words,
+/// 8-byte complex elements).
+inline constexpr std::uint64_t kWordBytes = 4;
+
+/// Aggregate resource demand of one breadth-first FFT iteration.
+struct KernelPhase {
+  std::string name;     ///< e.g. "dim1.iter2+rot"
+  int dim = 0;          ///< dimension index (0 = x)
+  int iter = 0;         ///< iteration within the dimension
+  unsigned radix = 8;   ///< butterfly radix of this iteration
+  bool rotation = false;  ///< true when fused with the axis rotation
+  std::uint64_t threads = 0;  ///< virtual threads (= points / radix)
+
+  // Totals over all threads of the phase:
+  std::uint64_t data_word_reads = 0;   ///< 4-byte data words read
+  std::uint64_t data_word_writes = 0;  ///< 4-byte data words written
+  std::uint64_t twiddle_word_reads = 0;  ///< LUT words read (cache-resident)
+  std::uint64_t flops = 0;             ///< actual real FP operations
+  std::uint64_t int_instructions = 0;  ///< address arithmetic + control
+
+  /// Distinct live twiddle roots this iteration (the replicated-LUT model
+  /// uses this to size hot-spot pressure).
+  std::uint64_t distinct_twiddles = 0;
+
+  [[nodiscard]] std::uint64_t data_bytes_read() const {
+    return data_word_reads * kWordBytes;
+  }
+  [[nodiscard]] std::uint64_t data_bytes_written() const {
+    return data_word_writes * kWordBytes;
+  }
+  [[nodiscard]] std::uint64_t total_instructions() const {
+    return data_word_reads + data_word_writes + twiddle_word_reads + flops +
+           int_instructions;
+  }
+};
+
+/// Modeling constants for per-thread bookkeeping instructions. One address
+/// op per memory word access plus fixed per-thread control overhead (thread
+/// id derivation, loop control, prefix-sum handshake).
+inline constexpr std::uint64_t kAddrOpsPerAccess = 1;
+inline constexpr std::uint64_t kControlOpsPerThread = 12;
+
+/// Builds the phase list for an FFT over `dims` using stage radices chosen
+/// with `max_radix` (the paper uses 8). For rank >= 2, the last iteration of
+/// every dimension is a rotation phase; rank-1 transforms have none.
+[[nodiscard]] std::vector<KernelPhase> build_fft_phases(Dims3 dims,
+                                                        unsigned max_radix = 8);
+
+/// Sum of actual FLOPs over phases.
+[[nodiscard]] std::uint64_t phases_total_flops(
+    std::span<const KernelPhase> phases);
+
+/// Sum of DRAM-visible data bytes (reads + writes) over phases.
+[[nodiscard]] std::uint64_t phases_total_data_bytes(
+    std::span<const KernelPhase> phases);
+
+}  // namespace xfft

@@ -1,0 +1,333 @@
+#include "xisa/assembler.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+
+#include "xutil/check.hpp"
+#include "xutil/string_util.hpp"
+
+namespace xisa {
+
+const char* mnemonic(Op op) {
+  switch (op) {
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kAddi: return "addi";
+    case Op::kMovi: return "movi";
+    case Op::kSlt: return "slt";
+    case Op::kFadd: return "fadd";
+    case Op::kFsub: return "fsub";
+    case Op::kFmul: return "fmul";
+    case Op::kFmovi: return "fmovi";
+    case Op::kLw: return "lw";
+    case Op::kSw: return "sw";
+    case Op::kFlw: return "flw";
+    case Op::kFsw: return "fsw";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kJ: return "j";
+    case Op::kTid: return "tid";
+    case Op::kPs: return "ps";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize_operands(std::string_view rest) {
+  // Split on commas; strip whitespace.
+  std::vector<std::string> out;
+  for (const auto& part : xutil::split(rest, ',')) {
+    const auto t = xutil::trim(part);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw xutil::Error("asm line " + std::to_string(line) + ": " + msg);
+}
+
+std::uint8_t parse_reg(std::string_view t, char prefix, std::size_t line) {
+  if (t.size() < 2 || t[0] != prefix) {
+    fail(line, "expected register '" + std::string(1, prefix) +
+                   "N', got '" + std::string(t) + "'");
+  }
+  int v = -1;
+  const auto* end = t.data() + t.size();
+  if (std::from_chars(t.data() + 1, end, v).ptr != end || v < 0 || v > 31) {
+    fail(line, "bad register '" + std::string(t) + "'");
+  }
+  return static_cast<std::uint8_t>(v);
+}
+
+std::uint8_t parse_greg(std::string_view t, std::size_t line) {
+  if (t.size() < 2 || t[0] != 'g') {
+    fail(line, "expected global register gN, got '" + std::string(t) + "'");
+  }
+  int v = -1;
+  const auto* end = t.data() + t.size();
+  if (std::from_chars(t.data() + 1, end, v).ptr != end || v < 0 ||
+      v >= static_cast<int>(kNumGlobalRegs)) {
+    fail(line, "bad global register '" + std::string(t) + "'");
+  }
+  return static_cast<std::uint8_t>(v);
+}
+
+std::int32_t parse_imm(std::string_view t, std::size_t line) {
+  std::int32_t v = 0;
+  const auto* end = t.data() + t.size();
+  if (std::from_chars(t.data(), end, v).ptr != end) {
+    fail(line, "bad integer immediate '" + std::string(t) + "'");
+  }
+  return v;
+}
+
+float parse_fimm(std::string_view t, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const std::string s(t);
+    const float v = std::stof(s, &used);
+    if (used != s.size()) fail(line, "bad float immediate '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    fail(line, "bad float immediate '" + std::string(t) + "'");
+  }
+}
+
+/// Parses "imm(rN)" memory operands.
+void parse_mem_operand(std::string_view t, std::uint8_t* base,
+                       std::int32_t* offset, std::size_t line) {
+  const auto open = t.find('(');
+  const auto close = t.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    fail(line, "expected mem operand imm(rN), got '" + std::string(t) + "'");
+  }
+  const auto off = xutil::trim(t.substr(0, open));
+  *offset = off.empty() ? 0 : parse_imm(off, line);
+  *base = parse_reg(xutil::trim(t.substr(open + 1, close - open - 1)), 'r',
+                    line);
+}
+
+}  // namespace
+
+Program assemble(std::string_view source) {
+  // Pass 1: strip comments, collect labels and raw instruction lines.
+  struct RawLine {
+    std::size_t line_no;
+    std::string text;
+  };
+  std::vector<RawLine> lines;
+  std::map<std::string, std::size_t> labels;
+  {
+    std::size_t line_no = 0;
+    std::size_t instr_idx = 0;
+    for (auto raw : xutil::split(source, '\n')) {
+      ++line_no;
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw = raw.substr(0, hash);
+      std::string_view text = xutil::trim(raw);
+      while (!text.empty()) {
+        const auto colon = text.find(':');
+        // A label only if the prefix has no whitespace.
+        if (colon == std::string_view::npos ||
+            text.substr(0, colon).find_first_of(" \t") !=
+                std::string_view::npos) {
+          break;
+        }
+        const std::string label(xutil::trim(text.substr(0, colon)));
+        if (label.empty()) fail(line_no, "empty label");
+        if (labels.contains(label)) fail(line_no, "duplicate label " + label);
+        labels[label] = instr_idx;
+        text = xutil::trim(text.substr(colon + 1));
+      }
+      if (!text.empty()) {
+        lines.push_back({line_no, std::string(text)});
+        ++instr_idx;
+      }
+    }
+  }
+
+  const auto resolve = [&](std::string_view target,
+                           std::size_t line) -> std::int32_t {
+    // Numeric targets are absolute instruction indices; otherwise labels.
+    if (!target.empty() &&
+        (std::isdigit(static_cast<unsigned char>(target[0])) != 0)) {
+      return parse_imm(target, line);
+    }
+    const auto it = labels.find(std::string(target));
+    if (it == labels.end()) {
+      fail(line, "undefined label '" + std::string(target) + "'");
+    }
+    return static_cast<std::int32_t>(it->second);
+  };
+
+  // Pass 2: encode.
+  Program prog;
+  for (const auto& [label, idx] : labels) prog.labels.emplace_back(label, idx);
+  for (const auto& [line_no, text] : lines) {
+    const auto space = text.find_first_of(" \t");
+    const std::string mn(xutil::trim(text.substr(0, space)));
+    const auto ops = tokenize_operands(
+        space == std::string::npos ? std::string_view{}
+                                   : std::string_view(text).substr(space));
+    const auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        fail(line_no, mn + " expects " + std::to_string(n) + " operands, got " +
+                          std::to_string(ops.size()));
+      }
+    };
+    Instr in;
+    const auto rrr = [&](Op op) {
+      need(3);
+      in.op = op;
+      in.rd = parse_reg(ops[0], 'r', line_no);
+      in.rs = parse_reg(ops[1], 'r', line_no);
+      in.rt = parse_reg(ops[2], 'r', line_no);
+    };
+    const auto fff = [&](Op op) {
+      need(3);
+      in.op = op;
+      in.rd = parse_reg(ops[0], 'f', line_no);
+      in.rs = parse_reg(ops[1], 'f', line_no);
+      in.rt = parse_reg(ops[2], 'f', line_no);
+    };
+    const auto branch = [&](Op op) {
+      need(3);
+      in.op = op;
+      in.rs = parse_reg(ops[0], 'r', line_no);
+      in.rt = parse_reg(ops[1], 'r', line_no);
+      in.imm = resolve(ops[2], line_no);
+    };
+    if (mn == "add") rrr(Op::kAdd);
+    else if (mn == "sub") rrr(Op::kSub);
+    else if (mn == "mul") rrr(Op::kMul);
+    else if (mn == "div") rrr(Op::kDiv);
+    else if (mn == "and") rrr(Op::kAnd);
+    else if (mn == "or") rrr(Op::kOr);
+    else if (mn == "xor") rrr(Op::kXor);
+    else if (mn == "shl") rrr(Op::kShl);
+    else if (mn == "shr") rrr(Op::kShr);
+    else if (mn == "slt") rrr(Op::kSlt);
+    else if (mn == "addi") {
+      need(3);
+      in.op = Op::kAddi;
+      in.rd = parse_reg(ops[0], 'r', line_no);
+      in.rs = parse_reg(ops[1], 'r', line_no);
+      in.imm = parse_imm(ops[2], line_no);
+    } else if (mn == "movi") {
+      need(2);
+      in.op = Op::kMovi;
+      in.rd = parse_reg(ops[0], 'r', line_no);
+      in.imm = parse_imm(ops[1], line_no);
+    } else if (mn == "fadd") fff(Op::kFadd);
+    else if (mn == "fsub") fff(Op::kFsub);
+    else if (mn == "fmul") fff(Op::kFmul);
+    else if (mn == "fmovi") {
+      need(2);
+      in.op = Op::kFmovi;
+      in.rd = parse_reg(ops[0], 'f', line_no);
+      in.fimm = parse_fimm(ops[1], line_no);
+    } else if (mn == "lw" || mn == "sw" || mn == "flw" || mn == "fsw") {
+      need(2);
+      in.op = mn == "lw" ? Op::kLw
+              : mn == "sw" ? Op::kSw
+              : mn == "flw" ? Op::kFlw
+                            : Op::kFsw;
+      const char prefix = (mn[0] == 'f') ? 'f' : 'r';
+      in.rd = parse_reg(ops[0], prefix, line_no);
+      parse_mem_operand(ops[1], &in.rs, &in.imm, line_no);
+    } else if (mn == "beq") branch(Op::kBeq);
+    else if (mn == "bne") branch(Op::kBne);
+    else if (mn == "blt") branch(Op::kBlt);
+    else if (mn == "j") {
+      need(1);
+      in.op = Op::kJ;
+      in.imm = resolve(ops[0], line_no);
+    } else if (mn == "tid") {
+      need(1);
+      in.op = Op::kTid;
+      in.rd = parse_reg(ops[0], 'r', line_no);
+    } else if (mn == "ps") {
+      need(3);
+      in.op = Op::kPs;
+      in.rd = parse_reg(ops[0], 'r', line_no);
+      in.imm = parse_greg(ops[1], line_no);
+      in.rs = parse_reg(ops[2], 'r', line_no);
+    } else if (mn == "halt") {
+      need(0);
+      in.op = Op::kHalt;
+    } else {
+      fail(line_no, "unknown mnemonic '" + mn + "'");
+    }
+    prog.code.push_back(in);
+  }
+  return prog;
+}
+
+std::string disassemble(const Program& program) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const Instr& in = program.code[i];
+    os << i << ": " << mnemonic(in.op);
+    switch (in.op) {
+      case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDiv:
+      case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kShl:
+      case Op::kShr: case Op::kSlt:
+        os << " r" << +in.rd << ", r" << +in.rs << ", r" << +in.rt;
+        break;
+      case Op::kFadd: case Op::kFsub: case Op::kFmul:
+        os << " f" << +in.rd << ", f" << +in.rs << ", f" << +in.rt;
+        break;
+      case Op::kAddi:
+        os << " r" << +in.rd << ", r" << +in.rs << ", " << in.imm;
+        break;
+      case Op::kMovi:
+        os << " r" << +in.rd << ", " << in.imm;
+        break;
+      case Op::kFmovi:
+        os << " f" << +in.rd << ", " << in.fimm;
+        break;
+      case Op::kLw: case Op::kSw:
+        os << " r" << +in.rd << ", " << in.imm << "(r" << +in.rs << ")";
+        break;
+      case Op::kFlw: case Op::kFsw:
+        os << " f" << +in.rd << ", " << in.imm << "(r" << +in.rs << ")";
+        break;
+      case Op::kBeq: case Op::kBne: case Op::kBlt:
+        os << " r" << +in.rs << ", r" << +in.rt << ", " << in.imm;
+        break;
+      case Op::kJ:
+        os << " " << in.imm;
+        break;
+      case Op::kTid:
+        os << " r" << +in.rd;
+        break;
+      case Op::kPs:
+        os << " r" << +in.rd << ", g" << in.imm << ", r" << +in.rs;
+        break;
+      case Op::kHalt:
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace xisa

@@ -1,0 +1,34 @@
+// Two-pass assembler for the XMT-style ISA.
+//
+// Syntax (one instruction per line, '#' comments, 'name:' labels):
+//   add  r1, r2, r3          # integer three-address ops
+//   addi r1, r2, -5          # immediate
+//   movi r1, 42
+//   slt  r1, r2, r3
+//   fadd f1, f2, f3          # float three-address ops
+//   fmovi f1, 0.707
+//   lw   r1, 4(r2)           # word-addressed loads/stores
+//   fsw  f3, 0(r7)
+//   beq  r1, r2, loop        # branches to labels
+//   j    done
+//   tid  r1                  # XMT: virtual thread id
+//   ps   r1, g0, r2          # XMT: r1 = fetch-and-add(g0, r2)
+//   halt
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xisa/isa.hpp"
+
+namespace xisa {
+
+/// Assembles `source`; throws xutil::Error with a line number on any
+/// syntax error, unknown mnemonic, bad register, or undefined label.
+[[nodiscard]] Program assemble(std::string_view source);
+
+/// Renders a program back to canonical assembly (labels inlined as
+/// absolute indices); used by tests and for diagnostics.
+[[nodiscard]] std::string disassemble(const Program& program);
+
+}  // namespace xisa

@@ -1,0 +1,153 @@
+#include "xisa/interpreter.hpp"
+
+#include <bit>
+
+#include "xutil/check.hpp"
+
+namespace xisa {
+
+std::int32_t SharedState::load_int(std::size_t addr) const {
+  XU_CHECK_MSG(addr < memory.size(), "load of word " << addr
+                                                     << " out of range");
+  return std::bit_cast<std::int32_t>(memory[addr]);
+}
+
+void SharedState::store_int(std::size_t addr, std::int32_t v) {
+  XU_CHECK_MSG(addr < memory.size(), "store to word " << addr
+                                                      << " out of range");
+  memory[addr] = std::bit_cast<std::uint32_t>(v);
+}
+
+float SharedState::load_float(std::size_t addr) const {
+  XU_CHECK_MSG(addr < memory.size(), "load of word " << addr
+                                                     << " out of range");
+  return std::bit_cast<float>(memory[addr]);
+}
+
+void SharedState::store_float(std::size_t addr, float v) {
+  XU_CHECK_MSG(addr < memory.size(), "store to word " << addr
+                                                      << " out of range");
+  memory[addr] = std::bit_cast<std::uint32_t>(v);
+}
+
+ThreadResult run_thread(const Program& program, std::int64_t tid,
+                        SharedState& state, std::uint64_t max_steps) {
+  ThreadResult res;
+  auto& r = res.regs;
+  auto& f = res.fregs;
+  std::size_t pc = 0;
+
+  const auto addr_of = [&](const Instr& in) -> std::size_t {
+    const std::int64_t a = static_cast<std::int64_t>(r[in.rs]) + in.imm;
+    XU_CHECK_MSG(a >= 0, "negative address " << a);
+    return static_cast<std::size_t>(a);
+  };
+  const auto jump_to = [&](std::int32_t target) {
+    XU_CHECK_MSG(target >= 0 &&
+                     static_cast<std::size_t>(target) <= program.code.size(),
+                 "jump target " << target << " out of range");
+    pc = static_cast<std::size_t>(target);
+  };
+
+  while (pc < program.code.size()) {
+    XU_CHECK_MSG(res.instructions < max_steps,
+                 "thread " << tid << " exceeded " << max_steps << " steps");
+    const Instr& in = program.code[pc];
+    ++res.instructions;
+    ++pc;
+    switch (in.op) {
+      case Op::kAdd: r[in.rd] = r[in.rs] + r[in.rt]; break;
+      case Op::kSub: r[in.rd] = r[in.rs] - r[in.rt]; break;
+      case Op::kMul: r[in.rd] = r[in.rs] * r[in.rt]; break;
+      case Op::kDiv:
+        XU_CHECK_MSG(r[in.rt] != 0, "division by zero at pc " << pc - 1);
+        r[in.rd] = r[in.rs] / r[in.rt];
+        break;
+      case Op::kAnd: r[in.rd] = r[in.rs] & r[in.rt]; break;
+      case Op::kOr: r[in.rd] = r[in.rs] | r[in.rt]; break;
+      case Op::kXor: r[in.rd] = r[in.rs] ^ r[in.rt]; break;
+      case Op::kShl:
+        r[in.rd] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(r[in.rs]) << (r[in.rt] & 31));
+        break;
+      case Op::kShr:
+        r[in.rd] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(r[in.rs]) >> (r[in.rt] & 31));
+        break;
+      case Op::kSlt: r[in.rd] = r[in.rs] < r[in.rt] ? 1 : 0; break;
+      case Op::kAddi: r[in.rd] = r[in.rs] + in.imm; break;
+      case Op::kMovi: r[in.rd] = in.imm; break;
+      case Op::kFadd:
+        f[in.rd] = f[in.rs] + f[in.rt];
+        ++res.fp_ops;
+        break;
+      case Op::kFsub:
+        f[in.rd] = f[in.rs] - f[in.rt];
+        ++res.fp_ops;
+        break;
+      case Op::kFmul:
+        f[in.rd] = f[in.rs] * f[in.rt];
+        ++res.fp_ops;
+        break;
+      case Op::kFmovi: f[in.rd] = in.fimm; break;
+      case Op::kLw:
+        r[in.rd] = state.load_int(addr_of(in));
+        ++res.mem_ops;
+        break;
+      case Op::kSw:
+        state.store_int(addr_of(in), r[in.rd]);
+        ++res.mem_ops;
+        break;
+      case Op::kFlw:
+        f[in.rd] = state.load_float(addr_of(in));
+        ++res.mem_ops;
+        break;
+      case Op::kFsw:
+        state.store_float(addr_of(in), f[in.rd]);
+        ++res.mem_ops;
+        break;
+      case Op::kBeq:
+        if (r[in.rs] == r[in.rt]) jump_to(in.imm);
+        break;
+      case Op::kBne:
+        if (r[in.rs] != r[in.rt]) jump_to(in.imm);
+        break;
+      case Op::kBlt:
+        if (r[in.rs] < r[in.rt]) jump_to(in.imm);
+        break;
+      case Op::kJ: jump_to(in.imm); break;
+      case Op::kTid: r[in.rd] = static_cast<std::int32_t>(tid); break;
+      case Op::kPs: {
+        XU_CHECK_MSG(in.imm >= 0 &&
+                         in.imm < static_cast<std::int32_t>(kNumGlobalRegs),
+                     "bad global register g" << in.imm);
+        auto& g = state.globals[static_cast<std::size_t>(in.imm)];
+        r[in.rd] = static_cast<std::int32_t>(g);
+        g += r[in.rs];
+        break;
+      }
+      case Op::kHalt: pc = program.code.size(); break;
+    }
+    // r0 is hardwired to zero.
+    r[0] = 0;
+  }
+  return res;
+}
+
+SpawnResult run_spawn(const Program& program, std::int64_t nthreads,
+                      SharedState& state,
+                      std::uint64_t max_steps_per_thread) {
+  XU_CHECK_MSG(nthreads >= 0, "negative thread count");
+  SpawnResult res;
+  for (std::int64_t tid = 0; tid < nthreads; ++tid) {
+    const ThreadResult t =
+        run_thread(program, tid, state, max_steps_per_thread);
+    ++res.threads;
+    res.instructions += t.instructions;
+    res.mem_ops += t.mem_ops;
+    res.fp_ops += t.fp_ops;
+  }
+  return res;
+}
+
+}  // namespace xisa

@@ -1,0 +1,64 @@
+// Functional interpreter for the XMT-style ISA.
+//
+// Executes thread programs against a shared word-addressed memory and the
+// global (prefix-sum) registers. run_spawn() realizes the XMT execution
+// model of Section II-A at the ISA level: every virtual thread in
+// [0, nthreads) runs the broadcast program to its halt; ps operations are
+// atomic fetch-and-adds against the shared globals. Threads run in ID
+// order, which is an admissible arbitrary-CRCW schedule for race-free
+// programs (races through plain stores are the programmer's
+// responsibility, exactly as on the hardware).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "xisa/isa.hpp"
+
+namespace xisa {
+
+/// Shared machine state across a spawn.
+struct SharedState {
+  std::vector<std::uint32_t> memory;  ///< word-addressed (32-bit)
+  std::array<std::int64_t, kNumGlobalRegs> globals{};
+
+  /// Typed accessors (memory words hold either int32 or float bits).
+  [[nodiscard]] std::int32_t load_int(std::size_t addr) const;
+  void store_int(std::size_t addr, std::int32_t v);
+  [[nodiscard]] float load_float(std::size_t addr) const;
+  void store_float(std::size_t addr, float v);
+};
+
+/// Outcome of a single thread's execution.
+struct ThreadResult {
+  std::uint64_t instructions = 0;  ///< dynamic instruction count
+  std::uint64_t mem_ops = 0;
+  std::uint64_t fp_ops = 0;
+  std::array<std::int32_t, kNumIntRegs> regs{};
+  std::array<float, kNumFloatRegs> fregs{};
+};
+
+/// Executes `program` as thread `tid` against `state`. Throws xutil::Error
+/// on invalid memory access, division by zero, jump out of range, or when
+/// `max_steps` is exceeded (runaway-loop guard).
+ThreadResult run_thread(const Program& program, std::int64_t tid,
+                        SharedState& state,
+                        std::uint64_t max_steps = 1'000'000);
+
+/// Aggregate of a full spawn.
+struct SpawnResult {
+  std::uint64_t threads = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t mem_ops = 0;
+  std::uint64_t fp_ops = 0;
+};
+
+/// Runs threads 0..nthreads-1 of `program` to completion (the spawn/join
+/// construct at ISA level).
+SpawnResult run_spawn(const Program& program, std::int64_t nthreads,
+                      SharedState& state,
+                      std::uint64_t max_steps_per_thread = 1'000'000);
+
+}  // namespace xisa

@@ -1,0 +1,82 @@
+// XMT-style instruction set (the level the XMTC toolchain compiles to;
+// Keceli et al. [20] describe the original toolchain).
+//
+// The ISA is a small RISC with the XMT extensions the paper's Section II-A
+// narrates: a `tid` instruction exposing the virtual thread ID broadcast by
+// the MTCU, and a `ps` instruction performing the prefix-sum (atomic
+// fetch-and-add) against a global register — the primitive behind dynamic
+// thread allocation and PRAM-style compaction.
+//
+// Integer registers r0..r31 (r0 hardwired to zero), float registers
+// f0..f31, word-addressed shared memory (32-bit words holding either an
+// int32 or an IEEE float), and eight global registers g0..g7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xisa {
+
+enum class Op : std::uint8_t {
+  // Integer ALU.
+  kAdd,   // rd = rs + rt
+  kSub,   // rd = rs - rt
+  kMul,   // rd = rs * rt
+  kDiv,   // rd = rs / rt (rt != 0)
+  kAnd,
+  kOr,
+  kXor,
+  kShl,   // rd = rs << (rt & 31)
+  kShr,   // rd = rs >> (rt & 31), logical
+  kAddi,  // rd = rs + imm
+  kMovi,  // rd = imm
+  kSlt,   // rd = rs < rt ? 1 : 0
+  // Float ALU.
+  kFadd,  // fd = fs + ft
+  kFsub,
+  kFmul,
+  kFmovi,  // fd = fimm
+  // Memory (word addressed: address = rs + imm, in words).
+  kLw,   // rd  = int  mem[rs + imm]
+  kSw,   // mem[rs + imm] = rd (int)
+  kFlw,  // fd  = float mem[rs + imm]
+  kFsw,  // mem[rs + imm] = fd (float)
+  // Control.
+  kBeq,  // if rs == rt jump to imm (absolute instruction index)
+  kBne,
+  kBlt,  // if rs < rt (signed)
+  kJ,    // jump to imm
+  // XMT extensions.
+  kTid,  // rd = virtual thread id
+  kPs,   // rd = fetch-and-add(g[imm], rs)
+  kHalt,
+};
+
+/// One decoded instruction. Register fields address r* for integer ops and
+/// f* for float ops; `imm` doubles as the branch/jump target (instruction
+/// index) and the global-register selector for ps.
+struct Instr {
+  Op op = Op::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::int32_t imm = 0;
+  float fimm = 0.0F;
+};
+
+/// An assembled program.
+struct Program {
+  std::vector<Instr> code;
+  /// Label table retained for diagnostics.
+  std::vector<std::pair<std::string, std::size_t>> labels;
+};
+
+/// Mnemonic of an opcode (for diagnostics and round-trip tests).
+[[nodiscard]] const char* mnemonic(Op op);
+
+inline constexpr std::size_t kNumIntRegs = 32;
+inline constexpr std::size_t kNumFloatRegs = 32;
+inline constexpr std::size_t kNumGlobalRegs = 8;
+
+}  // namespace xisa

@@ -1,0 +1,160 @@
+#include "xisa/trace_capture.hpp"
+
+#include <bit>
+
+#include "xutil/check.hpp"
+
+namespace xisa {
+
+namespace {
+
+/// Appends an op-count step, merging with the previous step of same kind
+/// (keeps traces compact without changing totals).
+void push_ops(xsim::ThreadProgram& out, xsim::Step::Kind kind,
+              std::uint32_t count) {
+  if (count == 0) return;
+  if (!out.empty() && out.back().kind == kind) {
+    out.back().count += count;
+    return;
+  }
+  out.push_back({kind, count, 0});
+}
+
+}  // namespace
+
+xsim::ThreadProgram capture_trace(const Program& program, std::int64_t tid,
+                                  SharedState& state,
+                                  std::uint64_t addr_base,
+                                  std::uint64_t max_steps) {
+  // Re-implementation of the interpreter loop with trace emission. Kept in
+  // lock-step with run_thread (shared semantics tested for equivalence).
+  xsim::ThreadProgram out;
+  std::array<std::int32_t, kNumIntRegs> r{};
+  std::array<float, kNumFloatRegs> f{};
+  std::size_t pc = 0;
+  std::uint64_t steps = 0;
+
+  const auto addr_of = [&](const Instr& in) -> std::size_t {
+    const std::int64_t a = static_cast<std::int64_t>(r[in.rs]) + in.imm;
+    XU_CHECK_MSG(a >= 0, "negative address " << a);
+    return static_cast<std::size_t>(a);
+  };
+  const auto byte_addr = [&](std::size_t word) -> std::uint64_t {
+    return addr_base + static_cast<std::uint64_t>(word) * 4;
+  };
+  const auto jump_to = [&](std::int32_t target) {
+    XU_CHECK_MSG(target >= 0 &&
+                     static_cast<std::size_t>(target) <= program.code.size(),
+                 "jump target out of range");
+    pc = static_cast<std::size_t>(target);
+  };
+
+  while (pc < program.code.size()) {
+    XU_CHECK_MSG(steps++ < max_steps, "trace capture exceeded step limit");
+    const Instr& in = program.code[pc];
+    ++pc;
+    switch (in.op) {
+      case Op::kAdd: r[in.rd] = r[in.rs] + r[in.rt]; goto int_op;
+      case Op::kSub: r[in.rd] = r[in.rs] - r[in.rt]; goto int_op;
+      case Op::kMul: r[in.rd] = r[in.rs] * r[in.rt]; goto int_op;
+      case Op::kDiv:
+        XU_CHECK_MSG(r[in.rt] != 0, "division by zero");
+        r[in.rd] = r[in.rs] / r[in.rt];
+        goto int_op;
+      case Op::kAnd: r[in.rd] = r[in.rs] & r[in.rt]; goto int_op;
+      case Op::kOr: r[in.rd] = r[in.rs] | r[in.rt]; goto int_op;
+      case Op::kXor: r[in.rd] = r[in.rs] ^ r[in.rt]; goto int_op;
+      case Op::kShl:
+        r[in.rd] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(r[in.rs]) << (r[in.rt] & 31));
+        goto int_op;
+      case Op::kShr:
+        r[in.rd] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(r[in.rs]) >> (r[in.rt] & 31));
+        goto int_op;
+      case Op::kSlt: r[in.rd] = r[in.rs] < r[in.rt] ? 1 : 0; goto int_op;
+      case Op::kAddi: r[in.rd] = r[in.rs] + in.imm; goto int_op;
+      case Op::kMovi: r[in.rd] = in.imm; goto int_op;
+      case Op::kFmovi: f[in.rd] = in.fimm; goto int_op;
+      case Op::kFadd:
+        f[in.rd] = f[in.rs] + f[in.rt];
+        push_ops(out, xsim::Step::Kind::kFpOps, 1);
+        break;
+      case Op::kFsub:
+        f[in.rd] = f[in.rs] - f[in.rt];
+        push_ops(out, xsim::Step::Kind::kFpOps, 1);
+        break;
+      case Op::kFmul:
+        f[in.rd] = f[in.rs] * f[in.rt];
+        push_ops(out, xsim::Step::Kind::kFpOps, 1);
+        break;
+      case Op::kLw: {
+        const auto a = addr_of(in);
+        r[in.rd] = state.load_int(a);
+        out.push_back({xsim::Step::Kind::kLoad, 1, byte_addr(a)});
+        break;
+      }
+      case Op::kFlw: {
+        const auto a = addr_of(in);
+        f[in.rd] = state.load_float(a);
+        out.push_back({xsim::Step::Kind::kLoad, 1, byte_addr(a)});
+        break;
+      }
+      case Op::kSw: {
+        const auto a = addr_of(in);
+        state.store_int(a, r[in.rd]);
+        out.push_back({xsim::Step::Kind::kStore, 1, byte_addr(a)});
+        break;
+      }
+      case Op::kFsw: {
+        const auto a = addr_of(in);
+        state.store_float(a, f[in.rd]);
+        out.push_back({xsim::Step::Kind::kStore, 1, byte_addr(a)});
+        break;
+      }
+      case Op::kBeq:
+        if (r[in.rs] == r[in.rt]) jump_to(in.imm);
+        goto int_op;
+      case Op::kBne:
+        if (r[in.rs] != r[in.rt]) jump_to(in.imm);
+        goto int_op;
+      case Op::kBlt:
+        if (r[in.rs] < r[in.rt]) jump_to(in.imm);
+        goto int_op;
+      case Op::kJ:
+        jump_to(in.imm);
+        goto int_op;
+      case Op::kTid:
+        r[in.rd] = static_cast<std::int32_t>(tid);
+        goto int_op;
+      case Op::kPs: {
+        auto& g = state.globals[static_cast<std::size_t>(in.imm)];
+        r[in.rd] = static_cast<std::int32_t>(g);
+        g += r[in.rs];
+        // A ps is a round trip to the PS unit; model as one int op (the
+        // unit itself serializes many per cycle, Section II-A).
+        goto int_op;
+      }
+      case Op::kHalt:
+        pc = program.code.size();
+        break;
+      int_op:
+        push_ops(out, xsim::Step::Kind::kIntOps, 1);
+        break;
+    }
+    r[0] = 0;
+  }
+  return out;
+}
+
+xsim::ProgramGenerator make_isa_generator(const Program& program,
+                                          std::shared_ptr<SharedState> state,
+                                          std::uint64_t addr_base) {
+  XU_CHECK(state != nullptr);
+  return [program, state, addr_base](std::uint64_t tid) {
+    return capture_trace(program, static_cast<std::int64_t>(tid), *state,
+                         addr_base);
+  };
+}
+
+}  // namespace xisa

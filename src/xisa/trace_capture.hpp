@@ -1,0 +1,35 @@
+// Bridge from the ISA interpreter to the cycle-level machine: interpreting
+// a thread's program yields its dynamic instruction stream, which converts
+// directly into an xsim::ThreadProgram (loads/stores with real addresses,
+// FP and integer op counts in program order). This is the XMTSim flow —
+// compile to the ISA, simulate the resulting trace — reproduced end to end:
+// assemble an XMTC-level kernel, capture traces, time them on the machine.
+#pragma once
+
+#include <memory>
+
+#include "xisa/interpreter.hpp"
+#include "xsim/machine.hpp"
+
+namespace xisa {
+
+/// Interprets `program` as thread `tid` against `state` (with full ISA
+/// semantics and side effects) while recording the dynamic memory/compute
+/// trace as an xsim::ThreadProgram. Word addresses are scaled by 4 bytes
+/// and offset by `addr_base` into the machine's byte address space.
+[[nodiscard]] xsim::ThreadProgram capture_trace(const Program& program,
+                                                std::int64_t tid,
+                                                SharedState& state,
+                                                std::uint64_t addr_base = 0,
+                                                std::uint64_t max_steps =
+                                                    1'000'000);
+
+/// Program generator for xsim::Machine::run_parallel_section that captures
+/// each thread's trace on demand. The shared state is re-used across
+/// threads (sequential interpretation order), so ps-based programs see
+/// correct prefix-sum values while the machine sees their true traffic.
+[[nodiscard]] xsim::ProgramGenerator make_isa_generator(
+    const Program& program, std::shared_ptr<SharedState> state,
+    std::uint64_t addr_base = 0);
+
+}  // namespace xisa

@@ -1,0 +1,176 @@
+#include "xmtc/fft_xmtc.hpp"
+
+#include <vector>
+
+#include "xfft/butterflies.hpp"
+#include "xfft/permute.hpp"
+#include "xfft/plan1d.hpp"
+#include "xfft/twiddle.hpp"
+#include "xutil/check.hpp"
+
+namespace xmtc {
+
+namespace {
+
+using xfft::Cf;
+using xfft::Direction;
+
+/// Replica count used by the XMTC kernels. Any count >= 2 exercises the
+/// replication machinery; the machine-tuned choice lives in the simulator's
+/// traffic model (ReplicatedTwiddleTable::copies_for_machine).
+constexpr std::size_t kReplicas = 4;
+
+/// Runs the breadth-first DIF stages for every length-`len` row of the
+/// buffer, one spawn per iteration, one thread per butterfly. If `fused_dst`
+/// is non-null, the last iteration writes through the axis rotation:
+/// frequency k of row `row` lands at fused_dst[k*rows + row].
+/// Returns the stage radices used.
+std::vector<unsigned> run_dim_stages(Runtime& rt, std::span<Cf> buf,
+                                     std::size_t len, std::size_t rows,
+                                     Direction dir, unsigned max_radix,
+                                     Cf* fused_dst, FftStats& stats,
+                                     std::int64_t& twiddle_reads) {
+  const auto radices = xfft::choose_radices(len, max_radix);
+  const bool inverse = dir == Direction::kInverse;
+  const std::size_t n = len * rows;
+
+  // One replicated table per dimension pass, decimated between iterations
+  // (Section IV-A). The master table serves the generic odd-radix core.
+  xfft::ReplicatedTwiddleTable table(len, kReplicas, dir);
+  const xfft::TwiddleTable<float> master(len, dir);
+
+  // Digit-reversal maps for the fused last iteration.
+  const auto perm = xfft::dif_output_permutation(radices, len);
+  std::vector<std::uint32_t> invperm(len);
+  for (std::size_t k = 0; k < len; ++k) invperm[perm[k]] = static_cast<std::uint32_t>(k);
+
+  std::size_t block = len;
+  for (std::size_t s = 0; s < radices.size(); ++s) {
+    const unsigned r = radices[s];
+    const std::size_t sub = block / r;
+    const bool last = s + 1 == radices.size();
+    const std::size_t threads_per_row = len / r;
+    ++stats.spawns;
+    rt.spawn(0, static_cast<std::int64_t>(n / r) - 1, [&](Thread& t) {
+      ++stats.threads;
+      const auto tid = static_cast<std::size_t>(t.id());
+      const std::size_t row = tid / threads_per_row;
+      const std::size_t j = tid % threads_per_row;
+      const std::size_t base = (j / sub) * block;
+      const std::size_t off = j % sub;
+      Cf* p = buf.data() + row * len;
+
+      Cf v[xfft::kMaxRadix];
+      for (unsigned i = 0; i < r; ++i) v[i] = p[base + off + i * sub];
+      xfft::small_dft(v, r, inverse, master, len);
+      for (unsigned i = 1; i < r; ++i) {
+        const std::size_t root =
+            (static_cast<std::size_t>(i) * off % block) * (len / block);
+        v[i] *= table.read(tid, root);
+      }
+      t.psm(twiddle_reads, static_cast<std::int64_t>(r) - 1);
+
+      if (last && fused_dst != nullptr) {
+        // Fused rotation: within-row position -> natural frequency ->
+        // rotated destination (Section IV-A / VI-B).
+        for (unsigned i = 0; i < r; ++i) {
+          const std::size_t pos = base + off + i * sub;
+          fused_dst[static_cast<std::size_t>(invperm[pos]) * rows + row] =
+              v[i];
+        }
+      } else {
+        for (unsigned i = 0; i < r; ++i) p[base + off + i * sub] = v[i];
+      }
+    });
+    if (!last) {
+      table.decimate(r);
+      ++stats.table_decimations;
+    }
+    block = sub;
+  }
+  return radices;
+}
+
+}  // namespace
+
+FftStats fft1d_xmtc(Runtime& rt, std::span<Cf> data, Direction dir,
+                    unsigned max_radix) {
+  FftStats stats;
+  std::int64_t twiddle_reads = 0;
+  const std::size_t n = data.size();
+  XU_CHECK_MSG(n >= 1, "empty transform");
+  if (n == 1) return stats;
+
+  const auto radices = run_dim_stages(rt, data, n, /*rows=*/1, dir, max_radix,
+                                      /*fused_dst=*/nullptr, stats,
+                                      twiddle_reads);
+
+  // Reorder to natural frequency order (logarithmic-depth PRAM gather).
+  const auto perm = xfft::dif_output_permutation(radices, n);
+  std::vector<Cf> scratch(n);
+  ++stats.spawns;
+  rt.spawn(0, static_cast<std::int64_t>(n) - 1, [&](Thread& t) {
+    ++stats.threads;
+    scratch[static_cast<std::size_t>(t.id())] =
+        data[perm[static_cast<std::size_t>(t.id())]];
+  });
+  ++stats.spawns;
+  rt.spawn(0, static_cast<std::int64_t>(n) - 1, [&](Thread& t) {
+    ++stats.threads;
+    const auto k = static_cast<std::size_t>(t.id());
+    Cf x = scratch[k];
+    if (dir == Direction::kInverse) x *= 1.0F / static_cast<float>(n);
+    data[k] = x;
+  });
+  stats.twiddle_reads = static_cast<std::uint64_t>(twiddle_reads);
+  return stats;
+}
+
+FftStats fftnd_xmtc(Runtime& rt, std::span<Cf> data, xfft::Dims3 dims,
+                    Direction dir, unsigned max_radix) {
+  FftStats stats;
+  std::int64_t twiddle_reads = 0;
+  const std::size_t n = dims.total();
+  XU_CHECK_MSG(data.size() == n, "buffer length mismatch");
+  if (dims.rank() == 1) {
+    FftStats s1 = fft1d_xmtc(rt, data, dir, max_radix);
+    return s1;
+  }
+
+  std::vector<Cf> scratch(n);
+  Cf* src = data.data();
+  Cf* dst = scratch.data();
+  xfft::Dims3 cur = dims;
+
+  for (int pass = 0; pass < 3; ++pass) {
+    const std::size_t len = cur.nx;
+    const std::size_t rows = n / len;
+    if (len > 1) {
+      run_dim_stages(rt, std::span<Cf>(src, n), len, rows, dir, max_radix,
+                     dst, stats, twiddle_reads);
+    } else {
+      // Length-1 axis: the rotation degenerates to an identity copy.
+      ++stats.spawns;
+      rt.spawn(0, static_cast<std::int64_t>(n) - 1, [&](Thread& t) {
+        ++stats.threads;
+        dst[t.id()] = src[t.id()];
+      });
+    }
+    std::swap(src, dst);
+    cur = xfft::Dims3{cur.ny, cur.nz, cur.nx};
+  }
+
+  // Three rotations leave the result in the scratch buffer; copy back and
+  // apply inverse scaling in the same pass.
+  ++stats.spawns;
+  rt.spawn(0, static_cast<std::int64_t>(n) - 1, [&](Thread& t) {
+    ++stats.threads;
+    Cf x = src[t.id()];
+    if (dir == Direction::kInverse) x *= 1.0F / static_cast<float>(n);
+    data[static_cast<std::size_t>(t.id())] = x;
+  });
+  stats.twiddle_reads = static_cast<std::uint64_t>(twiddle_reads);
+  return stats;
+}
+
+}  // namespace xmtc

@@ -1,0 +1,42 @@
+// The paper's FFT written in the XMTC programming model.
+//
+// This is the Section IV-A algorithm verbatim: a fine-grained,
+// breadth-first, radix-8 (mixed-radix for general lengths)
+// decimation-in-frequency FFT, one virtual thread per butterfly, twiddle
+// factors read from the replicated lookup table (which is decimated between
+// iterations exactly as the paper describes), and the axis rotation fused
+// into the last iteration of every dimension.
+//
+// Its results are tested to agree with xfft::PlanND, which ties the
+// programming-model path, the replicated-LUT machinery, and the plan-based
+// library together.
+#pragma once
+
+#include <span>
+
+#include "xfft/types.hpp"
+#include "xmtc/runtime.hpp"
+
+namespace xmtc {
+
+/// Statistics of an XMTC FFT run (for the ease-of-programming narrative
+/// and for tests: the number of spawns equals the number of breadth-first
+/// iterations plus the reorder/scale passes).
+struct FftStats {
+  std::uint64_t spawns = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t twiddle_reads = 0;
+  std::uint64_t table_decimations = 0;
+};
+
+/// In-place 1-D FFT over `data` using runtime `rt`. Natural order in/out.
+/// Inverse transforms scale by 1/N.
+FftStats fft1d_xmtc(Runtime& rt, std::span<xfft::Cf> data,
+                    xfft::Direction dir, unsigned max_radix = 8);
+
+/// In-place multi-dimensional FFT (x fastest), fused rotation, natural
+/// layout in and out.
+FftStats fftnd_xmtc(Runtime& rt, std::span<xfft::Cf> data, xfft::Dims3 dims,
+                    xfft::Direction dir, unsigned max_radix = 8);
+
+}  // namespace xmtc

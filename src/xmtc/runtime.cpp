@@ -1,0 +1,53 @@
+#include "xmtc/runtime.hpp"
+
+#include <vector>
+
+#include "xutil/check.hpp"
+
+namespace xmtc {
+
+std::int64_t Thread::ps(std::int64_t& global_register,
+                        std::int64_t increment) {
+  ++rt_.ps_ops_;
+  const std::int64_t old = global_register;
+  global_register += increment;
+  return old;
+}
+
+std::int64_t Thread::psm(std::int64_t& memory_word, std::int64_t increment) {
+  ++rt_.ps_ops_;
+  const std::int64_t old = memory_word;
+  memory_word += increment;
+  return old;
+}
+
+void Thread::sspawn(const std::function<void(Thread&)>& body) {
+  XU_CHECK_MSG(rt_.in_parallel_, "sspawn is only legal inside a spawn");
+  rt_.extra_.push_back(body);
+}
+
+void Runtime::spawn(std::int64_t low, std::int64_t high,
+                    const std::function<void(Thread&)>& body) {
+  XU_CHECK_MSG(!in_parallel_, "nested spawn must use sspawn");
+  ++spawns_;
+  if (high < low) return;  // empty section: broadcast and immediate join
+  in_parallel_ = true;
+  next_extra_id_ = high + 1;
+  for (std::int64_t id = low; id <= high; ++id) {
+    Thread t(*this, id);
+    body(t);
+    ++threads_run_;
+  }
+  // Threads added by sspawn run before the join; they may sspawn further.
+  std::size_t i = 0;
+  while (i < extra_.size()) {
+    Thread t(*this, next_extra_id_++);
+    extra_[i](t);
+    ++threads_run_;
+    ++i;
+  }
+  extra_.clear();
+  in_parallel_ = false;
+}
+
+}  // namespace xmtc

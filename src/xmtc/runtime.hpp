@@ -1,0 +1,74 @@
+// XMTC-style programming model (Section II-A of the paper).
+//
+// XMTC extends C with spawn/join parallel sections and prefix-sum
+// primitives. This runtime reproduces that model on the host with PRAM
+// semantics: a spawn(low, high) runs one virtual thread per ID; the ps/psm
+// primitives are the XMT prefix-sum operations (atomic fetch-and-add
+// against a global register or memory word); sspawn extends the current
+// parallel section with an extra thread, as the hardware does by raising
+// the broadcast bound Y.
+//
+// Execution is deterministic: thread bodies run to completion in ID order.
+// For the programs this library writes (PRAM-style, race-free within a
+// spawn except through ps/psm), this is an admissible arbitrary-CRCW
+// schedule, so results match any legal parallel execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace xmtc {
+
+class Runtime;
+
+/// Handle a thread body receives: its ID plus the XMT primitives.
+class Thread {
+ public:
+  /// Thread ID within the spawn (the TCU's current virtual thread).
+  [[nodiscard]] std::int64_t id() const { return id_; }
+
+  /// Prefix-sum to a global register: returns the register's previous
+  /// value and adds `increment` (the XMT `ps` instruction).
+  std::int64_t ps(std::int64_t& global_register, std::int64_t increment);
+
+  /// Prefix-sum to memory (the XMT `psm` instruction) — same semantics.
+  std::int64_t psm(std::int64_t& memory_word, std::int64_t increment);
+
+  /// Single-spawn: adds one more thread to the current parallel section
+  /// (nested parallelism). The new thread receives the next unused ID and
+  /// runs before the section joins.
+  void sspawn(const std::function<void(Thread&)>& body);
+
+ private:
+  friend class Runtime;
+  Thread(Runtime& rt, std::int64_t id) : rt_(rt), id_(id) {}
+  Runtime& rt_;
+  std::int64_t id_;
+};
+
+/// The serial-mode master (MTCU) view: issues parallel sections.
+class Runtime {
+ public:
+  /// Runs one virtual thread for every ID in [low, high] and joins.
+  /// Matches XMTC's spawn(low, high) { ... } construct.
+  void spawn(std::int64_t low, std::int64_t high,
+             const std::function<void(Thread&)>& body);
+
+  /// Statistics for tests and reporting.
+  [[nodiscard]] std::uint64_t spawns() const { return spawns_; }
+  [[nodiscard]] std::uint64_t threads_run() const { return threads_run_; }
+  [[nodiscard]] std::uint64_t ps_ops() const { return ps_ops_; }
+
+ private:
+  friend class Thread;
+  std::uint64_t spawns_ = 0;
+  std::uint64_t threads_run_ = 0;
+  std::uint64_t ps_ops_ = 0;
+
+  // State of the in-flight parallel section (sspawn appends).
+  bool in_parallel_ = false;
+  std::int64_t next_extra_id_ = 0;
+  std::vector<std::function<void(Thread&)>> extra_;
+};
+
+}  // namespace xmtc

@@ -1,0 +1,31 @@
+#include "xnoc/latency.hpp"
+
+#include <algorithm>
+
+#include "xutil/check.hpp"
+
+namespace xnoc {
+
+double expected_latency_cycles(const Topology& t, TrafficPattern pattern,
+                               double offered_load,
+                               const ContentionParams& params) {
+  validate(t);
+  XU_CHECK_MSG(offered_load > 0.0 && offered_load <= 1.0,
+               "offered load must be in (0, 1]");
+  // Pipeline depth: every level is one cycle; module service adds one.
+  double latency = static_cast<double>(t.total_levels()) + 1.0;
+
+  // Effective utilization of the contended stages: the pattern's
+  // efficiency shrinks sustainable throughput, so a given offered load
+  // drives the shared links to rho = load / efficiency.
+  const double eff = efficiency(t, pattern, params);
+  const double rho = std::min(0.97, offered_load / eff);
+
+  // M/D/1 waiting time per contended server; butterfly levels and the
+  // module port are the contended stages (MoT levels are private paths).
+  const double wait_per_stage = rho / (2.0 * (1.0 - rho));
+  latency += wait_per_stage * (t.butterfly_levels + 1);
+  return latency;
+}
+
+}  // namespace xnoc

@@ -1,0 +1,21 @@
+// Analytic latency model of the hybrid NoC, cross-checked against the
+// packet-level queue simulation.
+//
+// Base latency is the pipeline depth (one cycle per level). Queueing delay
+// at the shared butterfly links and the module port follows the M/D/1
+// waiting-time form W = rho / (2 (1 - rho)) cycles per contended server,
+// with rho the offered per-link utilization under the given pattern.
+#pragma once
+
+#include "xnoc/contention.hpp"
+#include "xnoc/topology.hpp"
+
+namespace xnoc {
+
+/// Expected request latency (cycles) from cluster injection to module
+/// service, at `offered_load` requests per cluster per cycle (0..1].
+[[nodiscard]] double expected_latency_cycles(
+    const Topology& t, TrafficPattern pattern, double offered_load,
+    const ContentionParams& params = {});
+
+}  // namespace xnoc

@@ -1,0 +1,50 @@
+#include "xphys/area.hpp"
+
+#include <cmath>
+
+#include "xutil/check.hpp"
+
+namespace xphys {
+
+AreaReport estimate_area(const ChipSpec& spec, const AreaParams& params) {
+  XU_CHECK_MSG(spec.clusters >= 1 && spec.memory_modules >= 1,
+               "chip needs clusters and memory modules");
+  XU_CHECK(spec.fpus_per_cluster >= 1);
+  const double scale = area_scale(TechNode::k22nm, spec.node);
+
+  AreaReport r;
+  r.noc_mm2 = static_cast<double>(xnoc::switch_count(spec.noc)) *
+              params.switch_mm2 * scale;
+  r.clusters_mm2 =
+      static_cast<double>(spec.clusters) *
+      (params.cluster_pair_mm2 +
+       static_cast<double>(spec.fpus_per_cluster - 1) * params.extra_fpu_mm2) *
+      scale;
+  r.fixed_mm2 = params.fixed_mm2 * scale;
+  r.total_mm2 = r.noc_mm2 + r.clusters_mm2 + r.fixed_mm2;
+  r.layers = static_cast<int>(std::ceil(r.total_mm2 / params.max_layer_mm2));
+  if (r.layers < 1) r.layers = 1;
+  r.per_layer_mm2 = r.total_mm2 / r.layers;
+  return r;
+}
+
+PowerReport estimate_power(const ChipSpec& spec, std::uint64_t tcus,
+                           const PowerParams& params) {
+  XU_CHECK(tcus >= 1);
+  const double scale =
+      spec.node == TechNode::k14nm ? kPowerScale22To14 : 1.0;
+  PowerReport r;
+  r.chip_watts =
+      (static_cast<double>(tcus) * params.tcu_w +
+       static_cast<double>(spec.clusters) * spec.fpus_per_cluster *
+           params.fpu_w +
+       static_cast<double>(spec.memory_modules) * params.mm_w) *
+      scale;
+  r.io_watts = spec.photonic_io_watts;
+  r.dram_watts =
+      static_cast<double>(spec.dram_channels) * params.dram_channel_w;
+  r.total_watts = r.chip_watts + r.io_watts + r.dram_watts;
+  return r;
+}
+
+}  // namespace xphys

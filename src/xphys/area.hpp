@@ -1,0 +1,79 @@
+// Silicon area, layer, and power model (Tables III and VI).
+//
+// Component areas are calibrated at 22 nm against the paper's published
+// anchors and scale to other nodes with xphys::area_scale:
+//
+//  - NoC switch area: the paper states an 8k-TCU pure MoT (256x256) needs
+//    190 mm^2 and a 16k MoT 760 mm^2. 256x255x2 = 130,560 switches gives
+//    1.4553e-3 mm^2/switch, which reproduces both anchors.
+//  - Cluster + memory-module area: Table III's 8k total (551 mm^2) minus
+//    the 190 mm^2 NoC and a 10 mm^2 fixed part (MTCU, PS unit, global
+//    registers) leaves 1.371 mm^2 per cluster+module pair (incl. 1 FPU).
+//  - Extra FPUs: the 128k x4 vs x2 delta implies ~0.038 mm^2 per FPU.
+//
+// Layers follow the paper's 2 cm x 2 cm die: ceil(total / 400 mm^2), which
+// reproduces every row of Table III's layer counts.
+#pragma once
+
+#include <cstdint>
+
+#include "xnoc/topology.hpp"
+#include "xphys/tech.hpp"
+
+namespace xphys {
+
+/// Logical composition of an XMT chip, as the area model sees it.
+struct ChipSpec {
+  std::uint64_t clusters = 0;
+  std::uint64_t memory_modules = 0;
+  unsigned fpus_per_cluster = 1;
+  xnoc::Topology noc;
+  TechNode node = TechNode::k22nm;
+  std::uint64_t dram_channels = 0;
+  double photonic_io_watts = 0.0;  ///< 0 when copper I/O suffices
+};
+
+/// Calibration constants (22 nm reference values).
+struct AreaParams {
+  double switch_mm2 = 1.4553e-3;       ///< per NoC switching element
+  double cluster_pair_mm2 = 1.371;     ///< cluster + memory module, 1 FPU
+  double extra_fpu_mm2 = 0.0384;       ///< each FPU beyond the first
+  double fixed_mm2 = 10.0;             ///< MTCU, PS unit, global registers
+  double max_layer_mm2 = 400.0;        ///< 2 cm x 2 cm die
+};
+
+/// Per-chip area results.
+struct AreaReport {
+  double noc_mm2 = 0.0;
+  double clusters_mm2 = 0.0;  ///< clusters + memory modules + extra FPUs
+  double fixed_mm2 = 0.0;
+  double total_mm2 = 0.0;
+  int layers = 0;
+  double per_layer_mm2 = 0.0;
+};
+
+[[nodiscard]] AreaReport estimate_area(const ChipSpec& spec,
+                                       const AreaParams& params = {});
+
+/// Power-model calibration constants (22 nm reference values). The chip
+/// part reproduces the companion-work narrative (8k air-coolable) and the
+/// system total lands at Table VI's 7.0 KW for the 128k x4 configuration.
+struct PowerParams {
+  double tcu_w = 0.025;
+  double fpu_w = 0.050;
+  double mm_w = 0.100;
+  double dram_channel_w = 1.05;  ///< external DRAM devices + interface
+};
+
+struct PowerReport {
+  double chip_watts = 0.0;      ///< logic + caches, node-scaled
+  double io_watts = 0.0;        ///< photonic transceivers
+  double dram_watts = 0.0;      ///< external memory devices
+  double total_watts = 0.0;
+};
+
+[[nodiscard]] PowerReport estimate_power(const ChipSpec& spec,
+                                         std::uint64_t tcus,
+                                         const PowerParams& params = {});
+
+}  // namespace xphys

@@ -1,0 +1,36 @@
+#include "xphys/cooling.hpp"
+
+#include "xutil/check.hpp"
+
+namespace xphys {
+
+double heat_flux_w_per_cm2(CoolingTech tech) {
+  switch (tech) {
+    case CoolingTech::kForcedAir:
+      return 150.0;  // [34]-[36]
+    case CoolingTech::kMicrofluidic:
+      return 1000.0;  // "nearly 1 KW/cm^2 of heat per layer"
+  }
+  XU_CHECK_MSG(false, "unknown cooling tech");
+  return 0.0;
+}
+
+double max_heat_watts(CoolingTech tech, double area_cm2, int layers) {
+  XU_CHECK(area_cm2 > 0.0 && layers >= 1);
+  const double flux = heat_flux_w_per_cm2(tech);
+  if (tech == CoolingTech::kForcedAir) {
+    return flux * area_cm2;  // outer surface only
+  }
+  return flux * area_cm2 * layers;
+}
+
+bool can_cool(CoolingTech tech, double area_cm2, int layers,
+              double power_watts) {
+  return power_watts <= max_heat_watts(tech, area_cm2, layers);
+}
+
+std::string cooling_name(CoolingTech tech) {
+  return tech == CoolingTech::kForcedAir ? "forced air" : "microfluidic";
+}
+
+}  // namespace xphys

@@ -1,0 +1,30 @@
+// Cooling-technology model (Sections V-B through V-E).
+//
+// Each XMT configuration is gated by a cooling technology: forced air
+// removes at most ~100-150 W/cm^2 (the paper adopts 150), while microfluidic
+// cooling (MFC) prototypes have removed 790 W/cm^2 [42] and 681 W/cm^2 [43],
+// approaching 1 kW/cm^2 per layer.
+#pragma once
+
+#include <string>
+
+namespace xphys {
+
+enum class CoolingTech { kForcedAir, kMicrofluidic };
+
+/// Heat-removal capability in W/cm^2 (per cooled layer for MFC).
+[[nodiscard]] double heat_flux_w_per_cm2(CoolingTech tech);
+
+/// Total heat removable from a chip of `area_cm2` with `layers` stacked
+/// layers. Air cooling only reaches the outer surface (independent of the
+/// layer count); MFC pumps coolant between every layer.
+[[nodiscard]] double max_heat_watts(CoolingTech tech, double area_cm2,
+                                    int layers);
+
+/// True if the cooling technology can dissipate `power_watts`.
+[[nodiscard]] bool can_cool(CoolingTech tech, double area_cm2, int layers,
+                            double power_watts);
+
+[[nodiscard]] std::string cooling_name(CoolingTech tech);
+
+}  // namespace xphys

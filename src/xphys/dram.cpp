@@ -1,0 +1,16 @@
+#include "xphys/dram.hpp"
+
+#include "xutil/check.hpp"
+
+namespace xphys {
+
+double dram_bandwidth_bytes_per_sec(std::uint64_t channels, double clock_hz) {
+  XU_CHECK(clock_hz > 0.0);
+  return static_cast<double>(channels) * kDramChannelBytesPerCycle * clock_hz;
+}
+
+double dram_bandwidth_bits_per_sec(std::uint64_t channels, double clock_hz) {
+  return dram_bandwidth_bytes_per_sec(channels, clock_hz) * 8.0;
+}
+
+}  // namespace xphys

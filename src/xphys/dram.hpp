@@ -1,0 +1,23 @@
+// Off-chip DRAM bandwidth model.
+//
+// Each DRAM channel moves 8 bytes per core cycle (at 3.3 GHz that is
+// 211.2 Gb/s, so the 8k configuration's 32 channels need the paper's
+// 6.76 Tb/s of off-chip bandwidth).
+#pragma once
+
+#include <cstdint>
+
+namespace xphys {
+
+/// Data moved per channel per core clock cycle.
+inline constexpr double kDramChannelBytesPerCycle = 8.0;
+
+/// Aggregate off-chip bandwidth in bytes/s.
+[[nodiscard]] double dram_bandwidth_bytes_per_sec(std::uint64_t channels,
+                                                  double clock_hz);
+
+/// Aggregate off-chip bandwidth in bits/s (the paper's Tb/s figures).
+[[nodiscard]] double dram_bandwidth_bits_per_sec(std::uint64_t channels,
+                                                 double clock_hz);
+
+}  // namespace xphys

@@ -1,0 +1,17 @@
+#include "xphys/energy.hpp"
+
+#include "xutil/check.hpp"
+
+namespace xphys {
+
+EnergyReport energy_per_run(double system_watts, double seconds,
+                            double standard_flops) {
+  XU_CHECK(system_watts > 0.0 && seconds > 0.0 && standard_flops > 0.0);
+  EnergyReport r;
+  r.joules_per_run = system_watts * seconds;
+  r.pj_per_flop = r.joules_per_run / standard_flops * 1e12;
+  r.runs_per_kwh = 3.6e6 / r.joules_per_run;
+  return r;
+}
+
+}  // namespace xphys

@@ -1,0 +1,21 @@
+// Energy-per-computation accounting: the lens the paper's power argument
+// (Table VI: 2,500 KW vs 7.0 KW) reduces to — joules per transform and
+// picojoules per (standard) FLOP.
+#pragma once
+
+#include <cstdint>
+
+namespace xphys {
+
+struct EnergyReport {
+  double joules_per_run = 0.0;  ///< system power x time-to-solution
+  double pj_per_flop = 0.0;     ///< against the 5 N log2 N convention
+  double runs_per_kwh = 0.0;
+};
+
+/// Combines a system power draw with a time-to-solution and a FLOP count.
+[[nodiscard]] EnergyReport energy_per_run(double system_watts,
+                                          double seconds,
+                                          double standard_flops);
+
+}  // namespace xphys

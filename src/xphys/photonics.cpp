@@ -1,0 +1,46 @@
+#include "xphys/photonics.hpp"
+
+#include <algorithm>
+
+#include "xutil/check.hpp"
+
+namespace xphys {
+
+PhotonicTech wdm_10g() {
+  return PhotonicTech{"WDM 8x10G [31]", 0.6, 700.0, 10.0};
+}
+
+PhotonicTech serial_30g_3pj() {
+  return PhotonicTech{"30G III-V/Si [32]", 3.0, 0.0, 30.0};
+}
+
+PhotonicTech serial_30g_8pj() {
+  return PhotonicTech{"36G Si [33]", 8.0, 0.0, 36.0};
+}
+
+std::vector<PhotonicTech> all_photonic_techs() {
+  return {wdm_10g(), serial_30g_3pj(), serial_30g_8pj()};
+}
+
+double power_for_bandwidth(const PhotonicTech& tech, double bits_per_sec) {
+  XU_CHECK(tech.energy_pj_per_bit > 0.0);
+  return bits_per_sec * tech.energy_pj_per_bit * 1e-12;
+}
+
+PhotonicBudget max_bandwidth(const PhotonicTech& tech, double chip_area_mm2,
+                             double power_budget_watts) {
+  XU_CHECK(chip_area_mm2 > 0.0 && power_budget_watts > 0.0);
+  const double power_bound =
+      power_budget_watts / (tech.energy_pj_per_bit * 1e-12);
+  double area_bound = power_bound;
+  if (tech.density_gbps_per_mm2 > 0.0) {
+    area_bound = tech.density_gbps_per_mm2 * 1e9 * chip_area_mm2;
+  }
+  PhotonicBudget b;
+  b.bandwidth_bits_per_sec = std::min(power_bound, area_bound);
+  b.power_watts = power_for_bandwidth(tech, b.bandwidth_bits_per_sec);
+  b.area_limited = area_bound < power_bound;
+  return b;
+}
+
+}  // namespace xphys

@@ -1,0 +1,50 @@
+// Silicon-photonic off-chip link model (Sections V-D and V-E).
+//
+// The paper compares transceiver generations:
+//  - WDM 8x10 Gb/s: 600 fJ/bit at 700 Gb/s/mm^2 I/O density [31]
+//  - 30 Gb/s heterogeneous III-V/Si: ~3 pJ/bit [32]
+//  - 36 Gb/s photonic RX/TX: ~8 pJ/bit [33]
+// and derives: a 4 cm^2 chip with the WDM parts provides 280 Tb/s of
+// off-chip bandwidth using 168 W. Cooling bounds the transceiver power
+// (air: <= 150 W/cm^2 -> 600 W for the chip; MFC: ~1 kW/cm^2 per layer),
+// which decides whether slower-but-efficient or faster-but-hot parts win.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xphys {
+
+/// One photonic transceiver technology option.
+struct PhotonicTech {
+  std::string name;
+  double energy_pj_per_bit = 0.0;   ///< link energy
+  double density_gbps_per_mm2 = 0.0;  ///< areal I/O density (0 = unbounded)
+  double lane_gbps = 0.0;           ///< per-lane rate
+};
+
+/// The three options the paper cites.
+[[nodiscard]] PhotonicTech wdm_10g();      // [31]
+[[nodiscard]] PhotonicTech serial_30g_3pj();  // [32]
+[[nodiscard]] PhotonicTech serial_30g_8pj();  // [33]
+[[nodiscard]] std::vector<PhotonicTech> all_photonic_techs();
+
+/// Result of sizing a photonic interface against power and area budgets.
+struct PhotonicBudget {
+  double bandwidth_bits_per_sec = 0.0;  ///< achievable off-chip bandwidth
+  double power_watts = 0.0;             ///< dissipated at that bandwidth
+  bool area_limited = false;  ///< density, not power, set the bound
+};
+
+/// Maximum off-chip bandwidth for a transceiver `tech` on a chip of
+/// `chip_area_mm2` with `power_budget_watts` available for I/O. Respects
+/// both the areal density bound and the energy/bit power bound.
+[[nodiscard]] PhotonicBudget max_bandwidth(const PhotonicTech& tech,
+                                           double chip_area_mm2,
+                                           double power_budget_watts);
+
+/// Power needed to move `bits_per_sec` with `tech`.
+[[nodiscard]] double power_for_bandwidth(const PhotonicTech& tech,
+                                         double bits_per_sec);
+
+}  // namespace xphys

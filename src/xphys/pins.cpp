@@ -1,0 +1,36 @@
+#include "xphys/pins.hpp"
+
+#include <cmath>
+
+#include "xutil/check.hpp"
+
+namespace xphys {
+
+unsigned pins_per_channel(MemoryInterface iface) {
+  switch (iface) {
+    case MemoryInterface::kParallelDdr3:
+      return 125;
+    case MemoryInterface::kHighSpeedSerial:
+      return 7;
+  }
+  XU_CHECK_MSG(false, "unknown memory interface");
+  return 0;
+}
+
+std::uint64_t total_pins(MemoryInterface iface, std::uint64_t channels) {
+  return static_cast<std::uint64_t>(pins_per_channel(iface)) * channels;
+}
+
+double channel_bits_per_sec(double bytes_per_cycle, double clock_hz) {
+  XU_CHECK(bytes_per_cycle > 0.0 && clock_hz > 0.0);
+  return bytes_per_cycle * 8.0 * clock_hz;
+}
+
+unsigned serial_lanes_for_channel(double channel_bits_per_sec,
+                                  double lane_gbps) {
+  XU_CHECK(channel_bits_per_sec > 0.0 && lane_gbps > 0.0);
+  return static_cast<unsigned>(
+      std::ceil(channel_bits_per_sec / (lane_gbps * 1e9)));
+}
+
+}  // namespace xphys

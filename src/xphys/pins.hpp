@@ -1,0 +1,42 @@
+// Off-chip DRAM interface pin model (Section V-B).
+//
+// "The 32 DRAM channels of this configuration require a total of 6.76 Tb/s
+// of off-chip bandwidth. Using a standard parallel memory interface such as
+// DDR3, this would require about 4000 pins ... using the 32.75 Gb/s GTY
+// transceivers ... a DRAM channel can be reduced to 7 pins. A configuration
+// with 32 DRAM channels would then require just 224 pins."
+#pragma once
+
+#include <cstdint>
+
+namespace xphys {
+
+/// How a DRAM channel leaves the package.
+enum class MemoryInterface {
+  kParallelDdr3,    ///< wide single-ended parallel bus
+  kHighSpeedSerial, ///< 32.75 Gb/s GTY-class SerDes lanes
+};
+
+/// Pins per DRAM channel for the given interface. The paper's figures imply
+/// ~125 pins per DDR3 channel (about 4000 pins / 32 channels) and 7 pins
+/// per serialized channel.
+[[nodiscard]] unsigned pins_per_channel(MemoryInterface iface);
+
+/// Total package pins for `channels` DRAM channels.
+[[nodiscard]] std::uint64_t total_pins(MemoryInterface iface,
+                                       std::uint64_t channels);
+
+/// Bandwidth carried per channel in bits/s given the channel's data rate
+/// (bytes/cycle at the core clock).
+[[nodiscard]] double channel_bits_per_sec(double bytes_per_cycle,
+                                          double clock_hz);
+
+/// Serial lanes of `lane_gbps` needed to carry one channel.
+[[nodiscard]] unsigned serial_lanes_for_channel(double channel_bits_per_sec,
+                                                double lane_gbps);
+
+/// Reference point the paper uses for feasibility: the NVIDIA Tesla K40
+/// package has 2397 pins on 561 mm^2 of silicon.
+inline constexpr std::uint64_t kTeslaK40Pins = 2397;
+
+}  // namespace xphys

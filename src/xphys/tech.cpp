@@ -1,0 +1,35 @@
+#include "xphys/tech.hpp"
+
+#include "xutil/check.hpp"
+
+namespace xphys {
+
+double feature_nm(TechNode node) {
+  switch (node) {
+    case TechNode::k40nm:
+      return 40.0;
+    case TechNode::k32nm:
+      return 32.0;
+    case TechNode::k22nm:
+      return 22.0;
+    case TechNode::k14nm:
+      return 14.0;
+  }
+  XU_CHECK_MSG(false, "unknown tech node");
+  return 0.0;
+}
+
+double area_scale(TechNode from, TechNode to) {
+  if (from == to) return 1.0;
+  if (from == TechNode::k22nm && to == TechNode::k14nm) {
+    return kLogicScale22To14;
+  }
+  if (from == TechNode::k14nm && to == TechNode::k22nm) {
+    return 1.0 / kLogicScale22To14;
+  }
+  const double ff = feature_nm(from);
+  const double ft = feature_nm(to);
+  return (ft * ft) / (ff * ff);
+}
+
+}  // namespace xphys

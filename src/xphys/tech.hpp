@@ -1,0 +1,30 @@
+// Technology-node scaling (Section V-D).
+//
+// "For scaling from 22 nm to 14 nm, Intel claims a scaling factor of 0.54
+// for logic area and similar scaling for power consumption" [30]. Area
+// normalization across dissimilar processes (Table VI) uses the same logic
+// factor between 22 nm and 14 nm, and geometric (feature-size squared)
+// scaling for the older 40 nm router silicon.
+#pragma once
+
+namespace xphys {
+
+/// Process nodes appearing in the paper.
+enum class TechNode { k40nm, k32nm, k22nm, k14nm };
+
+/// Feature size in nanometres.
+[[nodiscard]] double feature_nm(TechNode node);
+
+/// Intel's published logic-area scaling factor from 22 nm to 14 nm.
+inline constexpr double kLogicScale22To14 = 0.54;
+
+/// Power scales "similarly" to logic area per [30].
+inline constexpr double kPowerScale22To14 = 0.54;
+
+/// Multiplier converting an area at `from` into the equivalent area at `to`.
+/// Uses the 0.54 logic factor between 22 nm and 14 nm (the paper's
+/// normalized-area row: 3540 mm^2 @14nm -> 66 cm^2 @22nm) and geometric
+/// (f_to/f_from)^2 scaling otherwise (Edison's 40 nm routers -> 22 nm).
+[[nodiscard]] double area_scale(TechNode from, TechNode to);
+
+}  // namespace xphys

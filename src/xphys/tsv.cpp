@@ -1,0 +1,38 @@
+#include "xphys/tsv.hpp"
+
+#include <cmath>
+
+#include "xutil/check.hpp"
+
+namespace xphys {
+
+double port_bits_per_sec(const TsvParams& p) {
+  XU_CHECK(p.port_bits > 0 && p.clock_ghz > 0.0);
+  return static_cast<double>(p.port_bits) * p.clock_ghz * 1e9;
+}
+
+unsigned tsvs_per_port(const TsvParams& p) {
+  XU_CHECK(p.tsv_gbps > 0.0);
+  return static_cast<unsigned>(
+      std::ceil(port_bits_per_sec(p) / (p.tsv_gbps * 1e9)));
+}
+
+std::uint64_t signal_tsvs(const TsvParams& p, std::uint64_t clusters,
+                          std::uint64_t modules) {
+  // Four crossings: cluster->NoC, NoC->cluster, NoC->module, module->NoC.
+  return static_cast<std::uint64_t>(tsvs_per_port(p)) * 2 *
+         (clusters + modules);
+}
+
+std::uint64_t spare_tsvs(const TsvParams& p, std::uint64_t clusters,
+                         std::uint64_t modules) {
+  const std::uint64_t used = signal_tsvs(p, clusters, modules);
+  return used >= p.per_layer_limit ? 0 : p.per_layer_limit - used;
+}
+
+double tsv_area_mm2(const TsvParams& p, std::uint64_t count) {
+  const double pitch_mm = p.pitch_um * 1e-3;
+  return static_cast<double>(count) * pitch_mm * pitch_mm;
+}
+
+}  // namespace xphys

@@ -1,0 +1,43 @@
+// Through-silicon-via budget model (Section V-D).
+//
+// 3D-VLSI layers talk through TSVs: each runs at 40 Gb/s [38][39]; a NoC
+// port is 50 bits wide at 3.3 GHz (165 Gb/s), i.e. 5 TSVs per port. The
+// paper bounds a layer at ~100,000 TSVs [37]; at a 12 um pitch [40] that
+// footprint is 14.4 mm^2.
+#pragma once
+
+#include <cstdint>
+
+namespace xphys {
+
+struct TsvParams {
+  double tsv_gbps = 40.0;       ///< per-TSV signalling rate [38][39]
+  unsigned port_bits = 50;      ///< NoC port width
+  double clock_ghz = 3.3;       ///< port clock
+  double pitch_um = 12.0;       ///< TSV pitch [40]
+  std::uint64_t per_layer_limit = 100000;  ///< manufacturability bound [37]
+};
+
+/// Bandwidth one NoC port must cross a layer boundary with (bits/s).
+[[nodiscard]] double port_bits_per_sec(const TsvParams& p);
+
+/// TSVs required per NoC port (ceil of port rate / TSV rate).
+[[nodiscard]] unsigned tsvs_per_port(const TsvParams& p);
+
+/// Total signal TSVs for a configuration with `clusters` cluster-side ports
+/// and `modules` module-side ports, each crossed in both directions
+/// (cluster->NoC, NoC->cluster, NoC->module, module->NoC).
+[[nodiscard]] std::uint64_t signal_tsvs(const TsvParams& p,
+                                        std::uint64_t clusters,
+                                        std::uint64_t modules);
+
+/// TSVs left for power delivery under the per-layer limit (0 if the signal
+/// budget alone exceeds the limit).
+[[nodiscard]] std::uint64_t spare_tsvs(const TsvParams& p,
+                                       std::uint64_t clusters,
+                                       std::uint64_t modules);
+
+/// Silicon footprint of `count` TSVs in mm^2 (pitch-squared per TSV).
+[[nodiscard]] double tsv_area_mm2(const TsvParams& p, std::uint64_t count);
+
+}  // namespace xphys

@@ -1,0 +1,178 @@
+#include "xpram/algorithms.hpp"
+
+#include <algorithm>
+
+#include "xutil/check.hpp"
+
+namespace xpram {
+
+namespace {
+
+std::int64_t ssize_of(std::size_t n) { return static_cast<std::int64_t>(n); }
+
+}  // namespace
+
+std::vector<std::int64_t> exclusive_scan(xmtc::Runtime& rt,
+                                         std::span<const std::int64_t> in) {
+  const std::size_t n = in.size();
+  std::vector<std::int64_t> a(in.begin(), in.end());
+  if (n == 0) return a;
+  std::vector<std::int64_t> b(n);
+  // Recursive doubling (inclusive), synchronous via double buffering.
+  for (std::size_t d = 1; d < n; d *= 2) {
+    rt.spawn(0, ssize_of(n) - 1, [&](xmtc::Thread& t) {
+      const auto i = static_cast<std::size_t>(t.id());
+      b[i] = a[i] + (i >= d ? a[i - d] : 0);
+    });
+    std::swap(a, b);
+  }
+  // Shift to exclusive.
+  rt.spawn(0, ssize_of(n) - 1, [&](xmtc::Thread& t) {
+    const auto i = static_cast<std::size_t>(t.id());
+    b[i] = i == 0 ? 0 : a[i - 1];
+  });
+  return b;
+}
+
+std::vector<std::int64_t> compact(xmtc::Runtime& rt,
+                                  std::span<const std::int64_t> values,
+                                  std::span<const std::uint8_t> keep) {
+  XU_CHECK(values.size() == keep.size());
+  std::vector<std::int64_t> out(values.size());
+  std::int64_t cursor = 0;
+  rt.spawn(0, ssize_of(values.size()) - 1, [&](xmtc::Thread& t) {
+    const auto i = static_cast<std::size_t>(t.id());
+    if (keep[i] != 0) {
+      out[static_cast<std::size_t>(t.ps(cursor, 1))] = values[i];
+    }
+  });
+  out.resize(static_cast<std::size_t>(cursor));
+  return out;
+}
+
+std::vector<std::int64_t> compact_stable(xmtc::Runtime& rt,
+                                         std::span<const std::int64_t> values,
+                                         std::span<const std::uint8_t> keep) {
+  XU_CHECK(values.size() == keep.size());
+  std::vector<std::int64_t> flags(values.size());
+  rt.spawn(0, ssize_of(values.size()) - 1, [&](xmtc::Thread& t) {
+    const auto i = static_cast<std::size_t>(t.id());
+    flags[i] = keep[i] != 0 ? 1 : 0;
+  });
+  const auto pos = exclusive_scan(rt, flags);
+  const std::size_t total =
+      values.empty() ? 0
+                     : static_cast<std::size_t>(pos.back() + flags.back());
+  std::vector<std::int64_t> out(total);
+  rt.spawn(0, ssize_of(values.size()) - 1, [&](xmtc::Thread& t) {
+    const auto i = static_cast<std::size_t>(t.id());
+    if (keep[i] != 0) out[static_cast<std::size_t>(pos[i])] = values[i];
+  });
+  return out;
+}
+
+std::int64_t reduce_sum(xmtc::Runtime& rt,
+                        std::span<const std::int64_t> in) {
+  if (in.empty()) return 0;
+  std::vector<std::int64_t> a(in.begin(), in.end());
+  std::vector<std::int64_t> b((a.size() + 1) / 2);
+  std::size_t len = a.size();
+  while (len > 1) {
+    const std::size_t half = (len + 1) / 2;
+    rt.spawn(0, ssize_of(half) - 1, [&](xmtc::Thread& t) {
+      const auto i = static_cast<std::size_t>(t.id());
+      b[i] = a[2 * i] + (2 * i + 1 < len ? a[2 * i + 1] : 0);
+    });
+    std::swap(a, b);
+    len = half;
+  }
+  return a[0];
+}
+
+std::vector<std::int64_t> list_rank(xmtc::Runtime& rt,
+                                    std::span<const std::int64_t> next) {
+  const std::size_t n = next.size();
+  std::vector<std::int64_t> nxt(next.begin(), next.end());
+  std::vector<std::int64_t> rank(n);
+  std::vector<std::int64_t> nxt2(n);
+  std::vector<std::int64_t> rank2(n);
+  if (n == 0) return rank;
+  for (std::size_t i = 0; i < n; ++i) {
+    XU_CHECK_MSG(next[i] >= 0 && next[i] < ssize_of(n),
+                 "successor index out of range");
+  }
+  rt.spawn(0, ssize_of(n) - 1, [&](xmtc::Thread& t) {
+    const auto i = static_cast<std::size_t>(t.id());
+    rank[i] = nxt[i] == t.id() ? 0 : 1;
+  });
+  // Pointer jumping: each round halves every node's distance to the tail.
+  // Synchronous PRAM semantics via double buffering.
+  for (std::size_t round = 1; round < n; round *= 2) {
+    rt.spawn(0, ssize_of(n) - 1, [&](xmtc::Thread& t) {
+      const auto i = static_cast<std::size_t>(t.id());
+      const auto j = static_cast<std::size_t>(nxt[i]);
+      rank2[i] = rank[i] + rank[j];
+      nxt2[i] = nxt[j];
+    });
+    std::swap(rank, rank2);
+    std::swap(nxt, nxt2);
+  }
+  return rank;
+}
+
+std::vector<std::int64_t> parallel_merge(xmtc::Runtime& rt,
+                                         std::span<const std::int64_t> a,
+                                         std::span<const std::int64_t> b) {
+  XU_CHECK_MSG(std::is_sorted(a.begin(), a.end()), "a must be sorted");
+  XU_CHECK_MSG(std::is_sorted(b.begin(), b.end()), "b must be sorted");
+  std::vector<std::int64_t> out(a.size() + b.size());
+  if (!a.empty()) {
+    // a[i] goes after all b-elements strictly smaller than it (stability:
+    // equal a-elements precede equal b-elements).
+    rt.spawn(0, ssize_of(a.size()) - 1, [&](xmtc::Thread& t) {
+      const auto i = static_cast<std::size_t>(t.id());
+      const std::size_t r = static_cast<std::size_t>(
+          std::lower_bound(b.begin(), b.end(), a[i]) - b.begin());
+      out[i + r] = a[i];
+    });
+  }
+  if (!b.empty()) {
+    rt.spawn(0, ssize_of(b.size()) - 1, [&](xmtc::Thread& t) {
+      const auto j = static_cast<std::size_t>(t.id());
+      const std::size_t r = static_cast<std::size_t>(
+          std::upper_bound(a.begin(), a.end(), b[j]) - a.begin());
+      out[j + r] = b[j];
+    });
+  }
+  return out;
+}
+
+std::vector<std::pair<std::int32_t, std::int64_t>> counting_sort(
+    xmtc::Runtime& rt,
+    std::span<const std::pair<std::int32_t, std::int64_t>> items,
+    std::int32_t buckets) {
+  XU_CHECK_MSG(buckets >= 1, "need at least one bucket");
+  const std::size_t n = items.size();
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(buckets), 0);
+  // Histogram via psm on the bucket counters.
+  rt.spawn(0, ssize_of(n) - 1, [&](xmtc::Thread& t) {
+    const auto& [key, value] = items[static_cast<std::size_t>(t.id())];
+    XU_CHECK_MSG(key >= 0 && key < buckets, "key " << key << " out of range");
+    t.psm(counts[static_cast<std::size_t>(key)], 1);
+  });
+  // Bucket bases.
+  const auto base = exclusive_scan(rt, counts);
+  // Scatter with per-bucket cursors. Stability relies on the runtime's
+  // deterministic ID-order schedule (an admissible PRAM execution).
+  std::vector<std::int64_t> cursor(static_cast<std::size_t>(buckets), 0);
+  std::vector<std::pair<std::int32_t, std::int64_t>> out(n);
+  rt.spawn(0, ssize_of(n) - 1, [&](xmtc::Thread& t) {
+    const auto& item = items[static_cast<std::size_t>(t.id())];
+    const auto k = static_cast<std::size_t>(item.first);
+    const std::int64_t slot = base[k] + t.psm(cursor[k], 1);
+    out[static_cast<std::size_t>(slot)] = item;
+  });
+  return out;
+}
+
+}  // namespace xpram

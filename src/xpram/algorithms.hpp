@@ -1,0 +1,65 @@
+// Classic PRAM algorithms on the XMTC programming model.
+//
+// XMT's purpose (Sections I-III of the paper) is to execute PRAM
+// algorithms well; Table I's speedups all come from this algorithm class.
+// This module provides the standard building blocks, written as XMTC
+// spawn/ps programs against xmtc::Runtime:
+//
+//   - prefix sums (exclusive scan), the workhorse primitive
+//   - array compaction (via ps, the XMT idiom)
+//   - reduction
+//   - pointer jumping (list ranking) — the canonical O(log n) PRAM trick
+//   - parallel merge of sorted arrays (rank-based, O(log n) depth)
+//   - stable counting sort by small keys (scan-based)
+//
+// All are deterministic and tested against serial references.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "xmtc/runtime.hpp"
+
+namespace xpram {
+
+/// Exclusive prefix sums: out[i] = sum of in[0..i-1]. Work O(n log n)
+/// (the simple PRAM recursive-doubling formulation the paper's broadcast
+/// discussion references), depth O(log n) in PRAM terms.
+std::vector<std::int64_t> exclusive_scan(xmtc::Runtime& rt,
+                                         std::span<const std::int64_t> in);
+
+/// Keeps elements where keep[i] != 0, preserving no particular order
+/// (the ps-based compaction idiom). Returns the kept values.
+std::vector<std::int64_t> compact(xmtc::Runtime& rt,
+                                  std::span<const std::int64_t> values,
+                                  std::span<const std::uint8_t> keep);
+
+/// Order-preserving compaction via scan (stable variant).
+std::vector<std::int64_t> compact_stable(xmtc::Runtime& rt,
+                                         std::span<const std::int64_t> values,
+                                         std::span<const std::uint8_t> keep);
+
+/// Sum reduction via a balanced tree of spawns.
+std::int64_t reduce_sum(xmtc::Runtime& rt, std::span<const std::int64_t> in);
+
+/// List ranking by pointer jumping: next[i] is the successor index of node
+/// i, or i itself for the tail. Returns rank[i] = distance (#links) from i
+/// to the tail. O(log n) jumping rounds.
+std::vector<std::int64_t> list_rank(xmtc::Runtime& rt,
+                                    std::span<const std::int64_t> next);
+
+/// Merges two sorted arrays by cross-ranking (each element binary-searches
+/// its position in the other array) — O(log n) PRAM depth, n threads.
+std::vector<std::int64_t> parallel_merge(xmtc::Runtime& rt,
+                                         std::span<const std::int64_t> a,
+                                         std::span<const std::int64_t> b);
+
+/// Stable counting sort of (key, value) pairs with keys in [0, buckets).
+/// Scan-based: histogram, exclusive scan of bucket sizes, then scatter.
+std::vector<std::pair<std::int32_t, std::int64_t>> counting_sort(
+    xmtc::Runtime& rt,
+    std::span<const std::pair<std::int32_t, std::int64_t>> items,
+    std::int32_t buckets);
+
+}  // namespace xpram

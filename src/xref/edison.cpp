@@ -1,0 +1,48 @@
+#include "xref/edison.hpp"
+
+#include "xfft/types.hpp"
+#include "xphys/tech.hpp"
+#include "xutil/check.hpp"
+
+namespace xref {
+
+double normalized_area_cm2(const EdisonMachine& m) {
+  return m.cpu_silicon_cm2 +
+         m.router_silicon_cm2 *
+             xphys::area_scale(xphys::TechNode::k40nm,
+                               xphys::TechNode::k22nm);
+}
+
+double fft_percent_of_peak(const EdisonMachine& m) {
+  return 100.0 * m.fft_teraflops / m.peak_teraflops;
+}
+
+double modeled_fft_teraflops(const EdisonMachine& m,
+                             const EdisonFftModel& model, std::uint64_t n) {
+  XU_CHECK(n >= 2);
+  const double points =
+      static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n);
+  const double flops =
+      xfft::standard_fft_flops(static_cast<std::uint64_t>(points));
+  const double nodes_used =
+      static_cast<double>(model.cores_used) /
+      (static_cast<double>(m.cores) / static_cast<double>(m.nodes));
+
+  // Local compute: FFTW on every core at its measured fraction of peak.
+  const double local_rate = static_cast<double>(model.cores_used) *
+                            model.per_core_peak_gflops * 1e9 *
+                            model.local_fft_efficiency;
+  const double t_local = flops / local_rate;
+
+  // Two all-to-all exchanges (2-D "pencil" decomposition) of the full
+  // volume, at the effective per-node bandwidth.
+  const double volume_bytes = points * 8.0;  // single-precision complex
+  const double a2a_rate =
+      nodes_used * model.effective_a2a_gbytes_per_node * 1e9;
+  const double t_comm = 2.0 * volume_bytes / a2a_rate;
+
+  const double total = t_local + t_comm;
+  return flops / total / 1e12;
+}
+
+}  // namespace xref

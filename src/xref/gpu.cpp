@@ -1,0 +1,41 @@
+#include "xref/gpu.hpp"
+
+#include <algorithm>
+
+#include "xutil/check.hpp"
+
+namespace xref {
+
+GpuPlatform gtx_280() {
+  GpuPlatform g;
+  g.name = "NVIDIA GTX 280";
+  g.peak_sp_gflops = 933.0;
+  g.mem_bw_gbytes = 141.7;
+  return g;
+}
+
+GpuPlatform tesla_c2075() {
+  GpuPlatform g;
+  g.name = "NVIDIA Tesla C2075";
+  g.peak_sp_gflops = 1030.0;
+  g.mem_bw_gbytes = 144.0;
+  return g;
+}
+
+double device_fft_gflops(const GpuPlatform& gpu) {
+  return std::min(gpu.peak_sp_gflops,
+                  gpu.fft_intensity * gpu.mem_bw_gbytes);
+}
+
+double hybrid_fft_gflops(const GpuPlatform& gpu, xfft::Dims3 dims,
+                         int transfer_passes) {
+  XU_CHECK(transfer_passes >= 1);
+  const double flops = xfft::standard_fft_flops(dims.total());
+  const double bytes = static_cast<double>(dims.total()) * 8.0;
+  const double t_compute = flops / (device_fft_gflops(gpu) * 1e9);
+  const double t_pcie =
+      static_cast<double>(transfer_passes) * bytes / (gpu.pcie_gbytes * 1e9);
+  return flops / (t_compute + t_pcie) / 1e9;
+}
+
+}  // namespace xref

@@ -1,0 +1,32 @@
+// Historical XMT speedup results (Table I and Section III-B).
+//
+// These are published measurements from prior XMT work, tabulated here so
+// the Table I bench regenerates the paper's table verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xref {
+
+struct PastSpeedup {
+  std::string algorithm;
+  std::string xmt;      ///< speedup on XMT vs best serial
+  std::string gpu_cpu;  ///< best competing parallel result
+  std::string factor;   ///< XMT advantage factor
+};
+
+/// The five rows of Table I.
+[[nodiscard]] std::vector<PastSpeedup> table1_rows();
+
+/// Section III-B's FFT data point: 20.4X on a 64-TCU XMT vs 4X on a
+/// 16-core AMD of the same silicon area [18].
+struct PriorFftResult {
+  double xmt_speedup = 20.4;
+  double amd_speedup = 4.0;
+  unsigned xmt_tcus = 64;
+  unsigned amd_cores = 16;
+};
+[[nodiscard]] PriorFftResult prior_fft_result();
+
+}  // namespace xref

@@ -1,0 +1,39 @@
+#include "xref/xeon.hpp"
+
+#include "xphys/tech.hpp"
+#include "xutil/check.hpp"
+
+namespace xref {
+
+double xeon_area_at_22nm_mm2(const XeonE5_2690& x) {
+  return x.silicon_area_mm2 *
+         xphys::area_scale(xphys::TechNode::k32nm, xphys::TechNode::k22nm);
+}
+
+namespace {
+
+/// Operational intensity of an out-of-cache single-precision FFT pass
+/// structure comparable to ours (~0.8 FLOPs per DRAM byte) times a
+/// utilization factor for FFTW's cache blocking.
+constexpr double kFftIntensity = 0.8;
+
+}  // namespace
+
+double serial_roofline_estimate_gflops(const XeonE5_2690& x) {
+  // One core cannot saturate the socket's memory bandwidth; measured
+  // single-stream bandwidth on Sandy Bridge is roughly a fifth of peak.
+  const double core_bw = x.mem_bw_gbytes * 0.20;
+  const double bw_bound = core_bw * kFftIntensity;
+  return bw_bound < x.peak_gflops_per_core ? bw_bound
+                                           : x.peak_gflops_per_core;
+}
+
+double parallel_roofline_estimate_gflops(const XeonE5_2690& x) {
+  // Two sockets, bandwidth-bound (32 threads saturate both controllers).
+  const double bw = 2.0 * x.mem_bw_gbytes;
+  const double bw_bound = bw * kFftIntensity;
+  const double peak = 2.0 * x.cores * x.peak_gflops_per_core;
+  return bw_bound < peak ? bw_bound : peak;
+}
+
+}  // namespace xref

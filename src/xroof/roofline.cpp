@@ -1,0 +1,69 @@
+#include "xroof/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xutil/check.hpp"
+
+namespace xroof {
+
+double attainable_gflops(const Platform& p, double intensity) {
+  XU_CHECK(intensity > 0.0);
+  XU_CHECK(p.peak_gflops > 0.0 && p.peak_bw_gbytes > 0.0);
+  return std::min(p.peak_gflops, intensity * p.peak_bw_gbytes);
+}
+
+Platform platform_for(const xsim::MachineConfig& config) {
+  Platform p;
+  p.name = config.name;
+  p.peak_gflops = config.peak_flops_per_sec() / 1e9;
+  p.peak_bw_gbytes = config.dram_bw_bytes_per_sec() / 1e9;
+  return p;
+}
+
+namespace {
+
+Marker make_marker(const Platform& p, const std::string& label,
+                   const xsim::PhaseAggregate& agg) {
+  Marker m;
+  m.label = label;
+  m.intensity = agg.intensity();
+  m.gflops = agg.gflops();
+  m.fraction_of_roofline =
+      m.intensity > 0.0 ? m.gflops / attainable_gflops(p, m.intensity) : 0.0;
+  return m;
+}
+
+}  // namespace
+
+RooflineSeries fft_series(const xsim::MachineConfig& config,
+                          const xsim::FftPerfReport& report) {
+  RooflineSeries s;
+  s.platform = platform_for(config);
+  s.markers.push_back(make_marker(s.platform, "rotation", report.rotation));
+  s.markers.push_back(
+      make_marker(s.platform, "non-rotation", report.non_rotation));
+  s.markers.push_back(make_marker(s.platform, "overall", report.overall));
+  return s;
+}
+
+double fft_intensity_upper_bound(double cache_words) {
+  XU_CHECK(cache_words >= 2.0);
+  return 0.25 * std::log2(cache_words);
+}
+
+std::vector<std::pair<double, double>> sample_roofline(const Platform& p,
+                                                       double lo, double hi,
+                                                       int points) {
+  XU_CHECK(lo > 0.0 && hi > lo && points >= 2);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double step = std::log(hi / lo) / (points - 1);
+  for (int i = 0; i < points; ++i) {
+    const double x = lo * std::exp(step * i);
+    out.emplace_back(x, attainable_gflops(p, x));
+  }
+  return out;
+}
+
+}  // namespace xroof

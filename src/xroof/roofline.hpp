@@ -1,0 +1,68 @@
+// Roofline model (Williams, Waterman, Patterson [13]) — Section VI-B.
+//
+// A platform is two numbers: peak computation rate and peak off-chip
+// bandwidth. A kernel is a point: (operational intensity, achieved FLOPS).
+// Points under the sloped segment are bandwidth-bound, points under the
+// flat segment compute-bound. Fig. 3 plots each XMT configuration's
+// roofline with three markers: the rotation iterations, the non-rotation
+// iterations, and the overall FFT.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xsim/config.hpp"
+#include "xsim/perf_model.hpp"
+
+namespace xroof {
+
+/// A platform as the Roofline model sees it.
+struct Platform {
+  std::string name;
+  double peak_gflops = 0.0;
+  double peak_bw_gbytes = 0.0;  ///< off-chip, GB/s
+
+  /// Intensity where the sloped and flat segments meet (FLOPs/byte).
+  [[nodiscard]] double ridge_intensity() const {
+    return peak_gflops / peak_bw_gbytes;
+  }
+};
+
+/// Attainable GFLOPS at `intensity` (FLOPs/byte):
+/// min(peak, intensity * bandwidth).
+[[nodiscard]] double attainable_gflops(const Platform& p, double intensity);
+
+/// One plotted kernel point.
+struct Marker {
+  std::string label;
+  double intensity = 0.0;  ///< FLOPs per measured DRAM byte
+  double gflops = 0.0;     ///< achieved (actual-FLOP convention)
+  /// gflops / attainable at this intensity: 1.0 = on the roofline.
+  double fraction_of_roofline = 0.0;
+};
+
+/// A machine's roofline plus its FFT markers (one Fig. 3 panel).
+struct RooflineSeries {
+  Platform platform;
+  std::vector<Marker> markers;  ///< rotation, non-rotation, overall
+};
+
+/// Roofline platform view of an XMT configuration (actual-FLOP peak and
+/// peak DRAM bandwidth).
+[[nodiscard]] Platform platform_for(const xsim::MachineConfig& config);
+
+/// Builds the Fig. 3 series for one configuration from its perf report.
+[[nodiscard]] RooflineSeries fft_series(const xsim::MachineConfig& config,
+                                        const xsim::FftPerfReport& report);
+
+/// Upper bound on FFT operational intensity with a last-level cache of
+/// `cache_words` words: 0.25 * log2(S) FLOPs/byte for single precision
+/// (Elango et al. [41], via Hong-Kung I/O complexity).
+[[nodiscard]] double fft_intensity_upper_bound(double cache_words);
+
+/// Sample points of the roofline curve (for CSV export / plotting):
+/// intensities log-spaced in [lo, hi], paired with attainable GFLOPS.
+[[nodiscard]] std::vector<std::pair<double, double>> sample_roofline(
+    const Platform& p, double lo, double hi, int points);
+
+}  // namespace xroof

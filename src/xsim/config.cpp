@@ -1,0 +1,156 @@
+#include "xsim/config.hpp"
+
+#include "xphys/dram.hpp"
+#include "xutil/check.hpp"
+#include "xutil/units.hpp"
+
+namespace xsim {
+
+double MachineConfig::dram_bw_bytes_per_sec() const {
+  return xphys::dram_bandwidth_bytes_per_sec(dram_channels(), clock_hz());
+}
+
+double MachineConfig::noc_bw_bytes_per_sec() const {
+  return static_cast<double>(clusters) * 8.0 * clock_hz();
+}
+
+xnoc::Topology MachineConfig::topology() const {
+  const xnoc::Topology t{clusters, memory_modules, mot_levels,
+                         butterfly_levels};
+  xnoc::validate(t);
+  return t;
+}
+
+void MachineConfig::validate() const {
+  XU_CHECK_MSG(!name.empty(), "configuration must be named");
+  XU_CHECK_MSG(tcus == clusters * tcus_per_cluster,
+               name << ": TCUs (" << tcus << ") != clusters * TCUs/cluster ("
+                    << clusters * tcus_per_cluster << ")");
+  XU_CHECK_MSG(memory_modules % mms_per_dram_ctrl == 0,
+               name << ": memory modules not divisible by MMs per DRAM ctrl");
+  XU_CHECK_MSG(fpus_per_cluster >= 1 && lsus_per_cluster >= 1,
+               name << ": cluster must have at least one FPU and LSU");
+  XU_CHECK_MSG(clock_ghz > 0.0, name << ": clock must be positive");
+  xnoc::validate(topology());
+}
+
+namespace {
+
+MachineConfig base_config() {
+  MachineConfig c;
+  c.tcus_per_cluster = 32;
+  c.alus_per_cluster = 32;
+  c.mdus_per_cluster = 1;
+  c.lsus_per_cluster = 1;
+  c.clock_ghz = 3.3;
+  return c;
+}
+
+}  // namespace
+
+MachineConfig preset_4k() {
+  MachineConfig c = base_config();
+  c.name = "4k";
+  c.tcus = 4096;
+  c.clusters = 128;
+  c.memory_modules = 128;
+  c.mot_levels = 14;
+  c.butterfly_levels = 0;
+  c.mms_per_dram_ctrl = 8;
+  c.fpus_per_cluster = 1;
+  c.node = xphys::TechNode::k22nm;
+  c.cooling = xphys::CoolingTech::kForcedAir;
+  c.photonic_io = false;
+  c.enabling_technology = "baseline (single layer, copper I/O)";
+  c.validate();
+  return c;
+}
+
+MachineConfig preset_8k() {
+  MachineConfig c = base_config();
+  c.name = "8k";
+  c.tcus = 8192;
+  c.clusters = 256;
+  c.memory_modules = 256;
+  c.mot_levels = 16;
+  c.butterfly_levels = 0;
+  c.mms_per_dram_ctrl = 8;
+  c.fpus_per_cluster = 1;
+  c.node = xphys::TechNode::k22nm;
+  c.cooling = xphys::CoolingTech::kForcedAir;
+  c.photonic_io = false;
+  c.enabling_technology = "3D VLSI + high-speed serial DRAM interface";
+  c.validate();
+  return c;
+}
+
+MachineConfig preset_64k() {
+  MachineConfig c = base_config();
+  c.name = "64k";
+  c.tcus = 65536;
+  c.clusters = 2048;
+  c.memory_modules = 2048;
+  c.mot_levels = 8;
+  c.butterfly_levels = 7;
+  c.mms_per_dram_ctrl = 8;
+  c.fpus_per_cluster = 1;
+  c.node = xphys::TechNode::k22nm;
+  c.cooling = xphys::CoolingTech::kMicrofluidic;
+  c.photonic_io = false;
+  c.enabling_technology = "microfluidic cooling of the 3D stack";
+  c.validate();
+  return c;
+}
+
+MachineConfig preset_128k_x2() {
+  MachineConfig c = base_config();
+  c.name = "128k x2";
+  c.tcus = 131072;
+  c.clusters = 4096;
+  c.memory_modules = 4096;
+  c.mot_levels = 6;
+  c.butterfly_levels = 9;
+  c.mms_per_dram_ctrl = 4;
+  c.fpus_per_cluster = 2;
+  c.node = xphys::TechNode::k14nm;
+  c.cooling = xphys::CoolingTech::kMicrofluidic;
+  c.photonic_io = true;
+  c.enabling_technology = "silicon photonics (air-cooled) + 14 nm node";
+  c.validate();
+  return c;
+}
+
+MachineConfig preset_128k_x4() {
+  MachineConfig c = base_config();
+  c.name = "128k x4";
+  c.tcus = 131072;
+  c.clusters = 4096;
+  c.memory_modules = 4096;
+  c.mot_levels = 6;
+  c.butterfly_levels = 9;
+  c.mms_per_dram_ctrl = 1;
+  c.fpus_per_cluster = 4;
+  c.node = xphys::TechNode::k14nm;
+  c.cooling = xphys::CoolingTech::kMicrofluidic;
+  c.photonic_io = true;
+  c.enabling_technology = "MFC-cooled photonics (DRAM ctrl per MM)";
+  c.validate();
+  return c;
+}
+
+std::vector<MachineConfig> paper_presets() {
+  return {preset_4k(), preset_8k(), preset_64k(), preset_128k_x2(),
+          preset_128k_x4()};
+}
+
+std::vector<ReportedPhysical> table3_reported() {
+  return {
+      {"4k", 22, 1, 227.0, 227.0},
+      {"8k", 22, 2, 276.0, 551.0},
+      {"64k", 22, 8, 380.0, 3046.0},
+      {"128k x2", 14, 9, 365.0, 3284.0},
+      {"128k x4", 14, 9, 393.0, 3540.0},
+  };
+}
+
+}  // namespace xsim

@@ -1,0 +1,90 @@
+// XMT machine configurations (Tables II and III of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xnoc/topology.hpp"
+#include "xphys/cooling.hpp"
+#include "xphys/tech.hpp"
+
+namespace xsim {
+
+/// One XMT machine configuration. Fields mirror Table II; derived
+/// quantities (channels, peak rates) are computed, not stored, so the
+/// parameter algebra matches the paper's (e.g. 8k: 256 MMs / 8 per
+/// controller = 32 DRAM channels = 6.76 Tb/s).
+struct MachineConfig {
+  std::string name;
+
+  // Table II rows.
+  std::uint64_t tcus = 0;
+  std::uint64_t clusters = 0;
+  std::uint64_t memory_modules = 0;
+  unsigned mot_levels = 0;
+  unsigned butterfly_levels = 0;
+  unsigned mms_per_dram_ctrl = 1;
+  unsigned fpus_per_cluster = 1;
+  unsigned tcus_per_cluster = 32;
+  unsigned alus_per_cluster = 32;
+  unsigned mdus_per_cluster = 1;
+  unsigned lsus_per_cluster = 1;
+
+  // Physical context (Table III / Section V narrative).
+  xphys::TechNode node = xphys::TechNode::k22nm;
+  xphys::CoolingTech cooling = xphys::CoolingTech::kForcedAir;
+  bool photonic_io = false;
+  std::string enabling_technology;
+
+  // Microarchitectural constants shared by all configurations.
+  double clock_ghz = 3.3;
+  unsigned cache_line_bytes = 32;
+  std::uint64_t cache_bytes_per_mm = 32 * 1024;  ///< Table VI: 128 MB / 4096
+
+  // ----- derived quantities -----
+  [[nodiscard]] double clock_hz() const { return clock_ghz * 1e9; }
+  [[nodiscard]] std::uint64_t dram_channels() const {
+    return memory_modules / mms_per_dram_ctrl;
+  }
+  [[nodiscard]] std::uint64_t total_fpus() const {
+    return clusters * fpus_per_cluster;
+  }
+  /// Peak compute: one FLOP per FPU per cycle (54 TFLOPS for 128k x4).
+  [[nodiscard]] double peak_flops_per_sec() const {
+    return static_cast<double>(total_fpus()) * clock_hz();
+  }
+  /// Peak off-chip bandwidth in bytes/s (8 B/channel/cycle).
+  [[nodiscard]] double dram_bw_bytes_per_sec() const;
+  /// Raw NoC bandwidth in bytes/s (one 8 B/cycle port per cluster).
+  [[nodiscard]] double noc_bw_bytes_per_sec() const;
+  [[nodiscard]] std::uint64_t total_cache_bytes() const {
+    return memory_modules * cache_bytes_per_mm;
+  }
+  [[nodiscard]] xnoc::Topology topology() const;
+
+  /// Throws xutil::Error if fields are inconsistent (TCU/cluster mismatch,
+  /// invalid topology split, non-divisible DRAM grouping, ...).
+  void validate() const;
+};
+
+/// The five configurations of Table II.
+[[nodiscard]] MachineConfig preset_4k();
+[[nodiscard]] MachineConfig preset_8k();
+[[nodiscard]] MachineConfig preset_64k();
+[[nodiscard]] MachineConfig preset_128k_x2();
+[[nodiscard]] MachineConfig preset_128k_x4();
+[[nodiscard]] std::vector<MachineConfig> paper_presets();
+
+/// Paper-reported physical rows of Table III, keyed by preset name, for
+/// printing alongside our area model's estimates.
+struct ReportedPhysical {
+  std::string name;
+  unsigned tech_nm = 0;
+  int si_layers = 0;
+  double area_per_layer_mm2 = 0.0;
+  double total_area_mm2 = 0.0;
+};
+[[nodiscard]] std::vector<ReportedPhysical> table3_reported();
+
+}  // namespace xsim

@@ -1,0 +1,40 @@
+// Runs a complete multi-dimensional FFT through the cycle-level machine:
+// one parallel section per breadth-first iteration, caches kept warm
+// between iterations (the working set streams through, but the twiddle
+// region persists), cycles summed across phases.
+#pragma once
+
+#include <vector>
+
+#include "xfft/xmt_kernel.hpp"
+#include "xsim/fft_traffic.hpp"
+#include "xsim/machine.hpp"
+
+namespace xsim {
+
+/// Per-phase and total observables of a detailed full-FFT run.
+struct DetailedFftResult {
+  struct Phase {
+    std::string name;
+    MachineResult result;
+  };
+  std::vector<Phase> phases;
+  std::uint64_t total_cycles = 0;
+
+  /// Throughput by the paper's convention at a given clock.
+  [[nodiscard]] double standard_gflops(xfft::Dims3 dims,
+                                       double clock_hz) const {
+    const double secs =
+        static_cast<double>(total_cycles) / clock_hz;
+    return xfft::standard_fft_flops(dims.total()) / secs / 1e9;
+  }
+};
+
+/// Runs the radix-`max_radix` FFT over `dims` on `machine`. Intended for
+/// scaled-down configurations (the cycle-level fidelity); paper-scale
+/// inputs belong to FftPerfModel.
+DetailedFftResult run_fft_on_machine(Machine& machine, xfft::Dims3 dims,
+                                     unsigned max_radix = 8,
+                                     FftTrafficOptions traffic = {});
+
+}  // namespace xsim

@@ -1,0 +1,344 @@
+#include "xsim/machine.hpp"
+
+#include <deque>
+#include <queue>
+
+#include "xutil/check.hpp"
+#include "xutil/units.hpp"
+
+namespace xsim {
+
+namespace {
+
+/// SplitMix-style mixer for the global address hash: "the global memory
+/// address space is evenly partitioned into the MMs through a form of
+/// hashing" (Section II-A). Also used (with a different salt) for the
+/// cache-set index, so strided access patterns cannot thrash a single set.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct Request {
+  std::uint64_t addr = 0;
+  std::uint32_t dst_module = 0;
+  std::uint32_t tcu = 0;     // global TCU index (for load completion)
+  bool is_load = false;
+};
+
+struct TcuState {
+  ThreadProgram program;
+  std::size_t pc = 0;            // current step
+  std::uint32_t remaining = 0;   // remaining ops in current step
+  std::uint32_t outstanding = 0; // in-flight loads
+  bool has_thread = false;
+};
+
+struct Channel {
+  std::deque<Request> queue;
+  std::uint64_t busy_until = 0;
+  std::uint64_t last_line = ~0ULL;
+};
+
+}  // namespace
+
+Machine::Machine(MachineConfig config, MachineOptions opt)
+    : config_(std::move(config)), opt_(opt) {
+  config_.validate();
+  reset_caches();
+}
+
+void Machine::reset_caches() {
+  const std::size_t lines =
+      config_.cache_bytes_per_mm / config_.cache_line_bytes;
+  XU_CHECK_MSG(lines >= 1, "cache must hold at least one line");
+  cache_tags_.assign(config_.memory_modules,
+                     std::vector<std::uint64_t>(lines, ~0ULL));
+}
+
+std::uint32_t Machine::module_of(std::uint64_t addr) const {
+  const std::uint64_t line = addr / config_.cache_line_bytes;
+  return static_cast<std::uint32_t>(mix(line) % config_.memory_modules);
+}
+
+namespace {
+/// Hashed cache-set index (salted differently from the module hash).
+std::size_t set_of(std::uint64_t line, std::size_t lines_per_mm) {
+  return static_cast<std::size_t>(mix(line ^ 0x5bd1e995c2b2ae35ULL) %
+                                  lines_per_mm);
+}
+}  // namespace
+
+MachineResult Machine::run_parallel_section(std::uint64_t num_threads,
+                                            const ProgramGenerator& gen,
+                                            bool keep_cache) {
+  XU_CHECK_MSG(num_threads >= 1, "spawn needs at least one thread");
+  if (!keep_cache) reset_caches();
+
+  const std::size_t n_clusters = config_.clusters;
+  const std::size_t tcus_per_cluster = config_.tcus_per_cluster;
+  const std::size_t n_tcus = n_clusters * tcus_per_cluster;
+  const unsigned bf_stages = config_.butterfly_levels;
+  const unsigned module_bits = xutil::log2_exact(config_.memory_modules);
+  const unsigned cluster_side_latency = config_.mot_levels / 2;
+  const unsigned module_side_latency =
+      config_.mot_levels - cluster_side_latency;
+  const std::size_t lines_per_mm =
+      config_.cache_bytes_per_mm / config_.cache_line_bytes;
+
+  MachineResult res;
+  res.threads = num_threads;
+
+  std::vector<TcuState> tcu(n_tcus);
+  std::uint64_t next_thread = 0;   // the PS-incremented global register X
+  std::uint64_t done_threads = 0;
+
+  // Delay pipe through the cluster-side MoT: (ready_cycle, request).
+  std::deque<std::pair<std::uint64_t, Request>> mot_in;
+  // Butterfly stage queues: stage s, link l -> stage_q[s*n_clusters + l].
+  std::vector<std::deque<Request>> stage_q(
+      static_cast<std::size_t>(bf_stages) * n_clusters);
+  // Delay pipe through the module-side fan-in trees.
+  std::deque<std::pair<std::uint64_t, Request>> mot_out;
+  // Per-module service queues.
+  std::vector<std::deque<Request>> mm_q(config_.memory_modules);
+  // DRAM channels.
+  std::vector<Channel> channels(config_.dram_channels());
+  // Load completions: min-heap on ready cycle.
+  using Completion = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+
+  std::uint64_t fpu_busy = 0;
+  std::uint64_t lsu_busy = 0;
+  std::uint64_t dram_busy = 0;
+  std::uint64_t inflight = 0;  // injected but not yet fully serviced
+
+  // Positions a TCU at its next executable step, skipping zero-count
+  // arithmetic steps (memory steps always execute regardless of count).
+  const auto settle = [](TcuState& t) {
+    while (t.pc < t.program.size()) {
+      const Step& s = t.program[t.pc];
+      const bool is_ops = s.kind == Step::Kind::kIntOps ||
+                          s.kind == Step::Kind::kFpOps;
+      if (is_ops && s.count == 0) {
+        ++t.pc;
+        continue;
+      }
+      t.remaining = s.count;
+      return;
+    }
+    t.remaining = 0;
+  };
+
+  const auto grab_thread = [&](TcuState& t) {
+    if (next_thread >= num_threads) {
+      t.has_thread = false;
+      return;
+    }
+    t.program = gen(next_thread);
+    ++next_thread;
+    ++res.ps_allocations;
+    t.pc = 0;
+    t.has_thread = true;
+    settle(t);
+  };
+  for (auto& t : tcu) grab_thread(t);
+
+  const auto butterfly_next_link = [&](std::uint32_t link, std::uint32_t dst,
+                                       unsigned s) -> std::uint32_t {
+    const unsigned bit = bf_stages - 1 - s;
+    const std::uint32_t dst_bit = bit < module_bits ? ((dst >> bit) & 1u) : 0u;
+    return (link & ~(1u << bit)) | (dst_bit << bit);
+  };
+
+  std::uint64_t cycle = 0;
+  // Run until every thread has joined AND every request (including
+  // fire-and-forget stores) has been serviced — bandwidth accounting and
+  // queue-conservation invariants depend on full drain.
+  while (done_threads < num_threads || inflight > 0) {
+    XU_CHECK_MSG(cycle < opt_.cycle_limit,
+                 "machine simulation exceeded cycle limit (deadlock?)");
+
+    // 1. Retire load completions.
+    while (!completions.empty() && completions.top().first <= cycle) {
+      const std::uint32_t t = completions.top().second;
+      completions.pop();
+      XU_CHECK(tcu[t].outstanding > 0);
+      --tcu[t].outstanding;
+    }
+
+    // 2. DRAM channels: start the next line fill when free.
+    for (auto& ch : channels) {
+      if (ch.queue.empty() || ch.busy_until > cycle) continue;
+      const Request req = ch.queue.front();
+      ch.queue.pop_front();
+      const std::uint64_t line = req.addr / config_.cache_line_bytes;
+      unsigned service = opt_.dram_cycles_per_line;
+      if (ch.last_line != ~0ULL && line == ch.last_line + 1) {
+        ++res.dram_row_hits;  // open-row sequential stream
+      } else {
+        service += opt_.dram_row_miss_penalty;
+      }
+      ch.last_line = line;
+      ch.busy_until = cycle + service;
+      dram_busy += service;
+      ++res.dram_line_fills;
+      XU_CHECK(inflight > 0);
+      --inflight;
+      // Install the line and schedule the response.
+      cache_tags_[req.dst_module][set_of(line, lines_per_mm)] = line;
+      if (req.is_load) {
+        completions.emplace(ch.busy_until + opt_.response_latency, req.tcu);
+      }
+    }
+
+    // 3. Memory modules: one request per cycle per module, FIFO order.
+    for (std::size_t m = 0; m < mm_q.size(); ++m) {
+      auto& q = mm_q[m];
+      if (q.empty()) continue;
+      const Request req = q.front();
+      q.pop_front();
+      const std::uint64_t line = req.addr / config_.cache_line_bytes;
+      ++res.mem_requests;
+      if (cache_tags_[m][set_of(line, lines_per_mm)] == line) {
+        ++res.cache_hits;
+        XU_CHECK(inflight > 0);
+        --inflight;
+        if (req.is_load) {
+          completions.emplace(cycle + opt_.cache_hit_latency +
+                                  opt_.response_latency,
+                              req.tcu);
+        }
+      } else {
+        channels[m / config_.mms_per_dram_ctrl].queue.push_back(req);
+      }
+    }
+
+    // 4. Module-side fan-in trees: conflict-free, pure latency.
+    while (!mot_out.empty() && mot_out.front().first <= cycle) {
+      const Request req = mot_out.front().second;
+      mot_out.pop_front();
+      mm_q[req.dst_module].push_back(req);
+    }
+
+    // 5. Butterfly stages, last first (one stage per cycle per packet).
+    for (unsigned s = bf_stages; s-- > 0;) {
+      for (std::size_t link = 0; link < n_clusters; ++link) {
+        auto& q = stage_q[static_cast<std::size_t>(s) * n_clusters + link];
+        if (q.empty()) continue;
+        const Request req = q.front();
+        q.pop_front();
+        if (s + 1 == bf_stages) {
+          mot_out.emplace_back(cycle + module_side_latency, req);
+        } else {
+          stage_q[static_cast<std::size_t>(s + 1) * n_clusters +
+                  butterfly_next_link(static_cast<std::uint32_t>(link),
+                                      req.dst_module, s)]
+              .push_back(req);
+        }
+      }
+    }
+
+    // 6. Cluster-side fan-out trees feed the butterfly (or, for a pure MoT,
+    //    go straight to the module-side pipe — non-blocking end to end).
+    while (!mot_in.empty() && mot_in.front().first <= cycle) {
+      const Request req = mot_in.front().second;
+      const std::uint32_t src_cluster = req.tcu / tcus_per_cluster;
+      mot_in.pop_front();
+      if (bf_stages == 0) {
+        mot_out.emplace_back(cycle + module_side_latency, req);
+      } else {
+        stage_q[src_cluster].push_back(req);
+      }
+    }
+
+    // 7. TCU issue: per cluster, shared FPU pool and one LSU port.
+    for (std::size_t cl = 0; cl < n_clusters; ++cl) {
+      unsigned fp_budget = config_.fpus_per_cluster;
+      unsigned mem_budget = config_.lsus_per_cluster;
+      for (std::size_t i = 0; i < tcus_per_cluster; ++i) {
+        const std::size_t t = cl * tcus_per_cluster + i;
+        TcuState& st = tcu[t];
+        if (!st.has_thread) continue;
+        if (st.pc >= st.program.size()) {
+          // Thread body finished; join once all loads have returned, then
+          // do a prefix-sum to get the next thread ID.
+          if (st.outstanding == 0) {
+            ++done_threads;
+            grab_thread(st);
+          }
+          continue;
+        }
+        const Step& step = st.program[st.pc];
+        switch (step.kind) {
+          case Step::Kind::kIntOps:
+            // The TCU's own ALU retires one integer op per cycle.
+            ++res.int_ops;
+            if (--st.remaining == 0) {
+              ++st.pc;
+              settle(st);
+            }
+            break;
+          case Step::Kind::kFpOps:
+            if (fp_budget == 0) break;  // stall: FPUs shared per cluster
+            --fp_budget;
+            ++fpu_busy;
+            ++res.fp_ops;
+            if (--st.remaining == 0) {
+              ++st.pc;
+              settle(st);
+            }
+            break;
+          case Step::Kind::kLoad:
+          case Step::Kind::kStore: {
+            const bool is_load = step.kind == Step::Kind::kLoad;
+            if (mem_budget == 0) break;  // one LSU port per cluster
+            if (is_load && st.outstanding >= opt_.max_outstanding_loads) {
+              break;  // prefetch window full
+            }
+            --mem_budget;
+            ++lsu_busy;
+            Request req;
+            req.addr = step.addr;
+            req.dst_module = module_of(step.addr);
+            req.tcu = static_cast<std::uint32_t>(t);
+            req.is_load = is_load;
+            if (is_load) ++st.outstanding;
+            ++inflight;
+            mot_in.emplace_back(cycle + cluster_side_latency, req);
+            ++st.pc;
+            settle(st);
+            break;
+          }
+        }
+      }
+    }
+
+    // Congestion tracking.
+    for (const auto& q : mm_q) {
+      res.max_mm_queue = std::max<std::uint64_t>(res.max_mm_queue, q.size());
+    }
+    for (const auto& q : stage_q) {
+      res.max_noc_queue = std::max<std::uint64_t>(res.max_noc_queue, q.size());
+    }
+    ++cycle;
+  }
+
+  res.cycles = cycle;
+  const double denom = static_cast<double>(cycle);
+  res.fpu_utilization =
+      static_cast<double>(fpu_busy) /
+      (denom * static_cast<double>(n_clusters * config_.fpus_per_cluster));
+  res.lsu_utilization =
+      static_cast<double>(lsu_busy) /
+      (denom * static_cast<double>(n_clusters * config_.lsus_per_cluster));
+  res.dram_utilization =
+      static_cast<double>(dram_busy) /
+      (denom * static_cast<double>(channels.size()));
+  return res;
+}
+
+}  // namespace xsim

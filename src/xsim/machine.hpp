@@ -1,0 +1,104 @@
+// Cycle-level XMT machine simulation (the detailed fidelity).
+//
+// Simulates one parallel section (spawn ... join) the way Section II-A
+// describes the hardware executing it: the MTCU broadcasts the section, the
+// prefix-sum unit hands thread IDs to TCUs as they finish, TCUs execute
+// their threads in order through shared cluster resources (FPUs, the single
+// LSU port), requests traverse the hybrid NoC (MoT levels are conflict-free
+// pipeline latency; butterfly levels are shared 1-request/cycle links),
+// memory modules serve one request per cycle from an on-module line cache,
+// and misses stream 32-byte lines from per-controller DRAM channels with a
+// row-buffer (sequential-line) bonus.
+//
+// The machine transports no data — it is a timing model. Numerical
+// correctness of the FFT is established host-side by xfft; the traffic the
+// machine times is generated from the same kernel structure
+// (xsim/fft_traffic.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "xsim/config.hpp"
+
+namespace xsim {
+
+/// One step of a thread's trace program.
+struct Step {
+  enum class Kind : std::uint8_t { kIntOps, kFpOps, kLoad, kStore };
+  Kind kind = Kind::kIntOps;
+  /// For kIntOps/kFpOps: number of operations. For memory: access bytes
+  /// are fixed at 8 (one complex single-precision element).
+  std::uint32_t count = 0;
+  /// For kLoad/kStore: byte address in the simulated global address space.
+  std::uint64_t addr = 0;
+};
+
+/// A thread's full trace. Generated lazily per thread ID so millions of
+/// threads need not be materialized at once.
+using ThreadProgram = std::vector<Step>;
+using ProgramGenerator = std::function<ThreadProgram(std::uint64_t)>;
+
+/// Tunable microarchitectural latencies of the detailed machine.
+struct MachineOptions {
+  unsigned max_outstanding_loads = 4;  ///< per-TCU prefetch window
+  unsigned cache_hit_latency = 2;
+  unsigned dram_cycles_per_line = 4;       ///< 32 B line at 8 B/cycle
+  unsigned dram_row_miss_penalty = 4;      ///< extra cycles, non-sequential
+  unsigned response_latency = 4;           ///< return path (uncontended)
+  std::uint64_t cycle_limit = 500'000'000;  ///< deadlock guard
+};
+
+/// Aggregate observables of one parallel section.
+struct MachineResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t mem_requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t dram_line_fills = 0;
+  std::uint64_t dram_row_hits = 0;
+  std::uint64_t fp_ops = 0;
+  std::uint64_t int_ops = 0;
+  std::uint64_t ps_allocations = 0;  ///< prefix-sum thread grants
+  std::uint64_t max_mm_queue = 0;
+  std::uint64_t max_noc_queue = 0;
+  double fpu_utilization = 0.0;
+  double lsu_utilization = 0.0;
+  double dram_utilization = 0.0;
+
+  [[nodiscard]] double cache_hit_rate() const {
+    return mem_requests == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(mem_requests);
+  }
+};
+
+/// The cycle-stepped machine. Construct once per configuration; each
+/// run_parallel_section() starts with cold caches unless keep_cache is set.
+class Machine {
+ public:
+  explicit Machine(MachineConfig config, MachineOptions opt = {});
+
+  /// Executes `num_threads` virtual threads of `gen` to completion and
+  /// returns the observables. Deterministic.
+  MachineResult run_parallel_section(std::uint64_t num_threads,
+                                     const ProgramGenerator& gen,
+                                     bool keep_cache = false);
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  /// Memory module servicing a byte address (the global address hash).
+  [[nodiscard]] std::uint32_t module_of(std::uint64_t addr) const;
+
+ private:
+  MachineConfig config_;
+  MachineOptions opt_;
+  // Per-module direct-mapped line-tag cache, persisted across sections when
+  // keep_cache is requested.
+  std::vector<std::vector<std::uint64_t>> cache_tags_;
+  void reset_caches();
+};
+
+}  // namespace xsim

@@ -1,0 +1,132 @@
+#include "xsim/perf_model.hpp"
+
+#include <cmath>
+
+#include "xnoc/contention.hpp"
+#include "xsim/calibration.hpp"
+#include "xutil/check.hpp"
+
+namespace xsim {
+
+std::string bound_name(Bound b) {
+  switch (b) {
+    case Bound::kCompute:
+      return "compute";
+    case Bound::kIssue:
+      return "issue";
+    case Bound::kLsu:
+      return "lsu";
+    case Bound::kNoc:
+      return "noc";
+    case Bound::kDram:
+      return "dram";
+    case Bound::kOverhead:
+      return "overhead";
+  }
+  return "?";
+}
+
+FftPerfModel::FftPerfModel(MachineConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+PhaseTiming FftPerfModel::time_phase(const xfft::KernelPhase& ph) const {
+  const MachineConfig& c = config_;
+  const auto pattern = ph.rotation ? xnoc::TrafficPattern::kTranspose
+                                   : xnoc::TrafficPattern::kUniform;
+  const double dram_eff =
+      ph.rotation ? cal::kDramRotationEff : cal::kDramStreamEff;
+  const double noc_eff = xnoc::efficiency(
+      c.topology(), pattern,
+      xnoc::ContentionParams{cal::kNocUniformPerLevel,
+                             cal::kNocTransposePerLevel});
+
+  const double clusters = static_cast<double>(c.clusters);
+  const double data_bytes = static_cast<double>(ph.data_bytes_read() +
+                                                ph.data_bytes_written());
+  const double all_bytes =
+      data_bytes +
+      static_cast<double>(ph.twiddle_word_reads * xfft::kWordBytes);
+
+  PhaseTiming t;
+  t.name = ph.name;
+  t.rotation = ph.rotation;
+  // Per-resource cycle counts at full machine occupancy.
+  t.compute_cycles = static_cast<double>(ph.flops) /
+                     (clusters * c.fpus_per_cluster);
+  t.issue_cycles = static_cast<double>(ph.total_instructions()) /
+                   (clusters * c.tcus_per_cluster);
+  t.lsu_cycles =
+      all_bytes / (clusters * c.lsus_per_cluster * cal::kLsuBytesPerCycle);
+  t.noc_cycles =
+      all_bytes / (clusters * cal::kNocPortBytesPerCycle * noc_eff);
+  // Twiddle reads hit the on-chip cache modules (the replicated LUT) and do
+  // not reach DRAM; data reads/writes stream through at line granularity.
+  t.dram_cycles = data_bytes / (static_cast<double>(c.dram_channels()) * 8.0 *
+                                dram_eff);
+
+  // p-norm bottleneck combination (see calibration.hpp).
+  const double p = cal::kBottleneckNorm;
+  const double combined =
+      std::pow(std::pow(t.compute_cycles, p) + std::pow(t.issue_cycles, p) +
+                   std::pow(t.lsu_cycles, p) + std::pow(t.noc_cycles, p) +
+                   std::pow(t.dram_cycles, p),
+               1.0 / p);
+  t.cycles = combined + cal::kSpawnOverheadCycles;
+  t.seconds = t.cycles / c.clock_hz();
+
+  t.bound = Bound::kDram;
+  double best = t.dram_cycles;
+  const auto consider = [&](double v, Bound b) {
+    if (v > best) {
+      best = v;
+      t.bound = b;
+    }
+  };
+  consider(t.compute_cycles, Bound::kCompute);
+  consider(t.issue_cycles, Bound::kIssue);
+  consider(t.lsu_cycles, Bound::kLsu);
+  consider(t.noc_cycles, Bound::kNoc);
+  if (cal::kSpawnOverheadCycles > best) t.bound = Bound::kOverhead;
+
+  t.actual_gflops = static_cast<double>(ph.flops) / t.seconds / 1e9;
+  t.dram_bytes_nominal = data_bytes;
+  // Partially used bursts amplify the measured DRAM traffic — this is what
+  // moves the rotation markers left on the Fig. 3 intensity axis.
+  t.dram_bytes_measured = data_bytes / dram_eff;
+  t.intensity = static_cast<double>(ph.flops) / t.dram_bytes_measured;
+  return t;
+}
+
+FftPerfReport FftPerfModel::analyze(
+    xfft::Dims3 dims, std::span<const xfft::KernelPhase> phases) const {
+  XU_CHECK_MSG(!phases.empty(), "no phases to analyze");
+  FftPerfReport r;
+  r.config_name = config_.name;
+  for (const auto& ph : phases) {
+    PhaseTiming t = time_phase(ph);
+    r.total_cycles += t.cycles;
+    r.total_seconds += t.seconds;
+    r.actual_flops += static_cast<double>(ph.flops);
+    PhaseAggregate& agg = t.rotation ? r.rotation : r.non_rotation;
+    agg.seconds += t.seconds;
+    agg.flops += static_cast<double>(ph.flops);
+    agg.dram_bytes_measured += t.dram_bytes_measured;
+    r.overall.seconds += t.seconds;
+    r.overall.flops += static_cast<double>(ph.flops);
+    r.overall.dram_bytes_measured += t.dram_bytes_measured;
+    r.phases.push_back(std::move(t));
+  }
+  r.standard_gflops =
+      xfft::standard_fft_flops(dims.total()) / r.total_seconds / 1e9;
+  r.actual_gflops = r.actual_flops / r.total_seconds / 1e9;
+  return r;
+}
+
+FftPerfReport FftPerfModel::analyze_fft(xfft::Dims3 dims,
+                                        unsigned max_radix) const {
+  const auto phases = xfft::build_fft_phases(dims, max_radix);
+  return analyze(dims, phases);
+}
+
+}  // namespace xsim

@@ -1,0 +1,96 @@
+// Analytic (batched) performance model: the fidelity used for paper-scale
+// inputs (512^3). It consumes the same xfft::KernelPhase descriptions as
+// the cycle-level machine and computes per-phase cycle counts from resource
+// throughputs and calibrated contention factors (xsim/calibration.hpp).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xfft/xmt_kernel.hpp"
+#include "xsim/config.hpp"
+
+namespace xsim {
+
+/// Which resource bound a phase.
+enum class Bound { kCompute, kIssue, kLsu, kNoc, kDram, kOverhead };
+
+[[nodiscard]] std::string bound_name(Bound b);
+
+/// Timing result for one breadth-first FFT iteration.
+struct PhaseTiming {
+  std::string name;
+  bool rotation = false;
+  double cycles = 0.0;
+  double seconds = 0.0;
+  Bound bound = Bound::kDram;
+  double actual_gflops = 0.0;    ///< phase flops / phase time
+  double dram_bytes_nominal = 0.0;  ///< algorithmic reads+writes
+  double dram_bytes_measured = 0.0; ///< incl. burst-waste amplification
+  /// Operational intensity against measured traffic (FLOPs/byte) — the
+  /// x coordinate of the phase's Fig. 3 marker.
+  double intensity = 0.0;
+  // Per-resource cycle components (before the p-norm combination).
+  double compute_cycles = 0.0;
+  double issue_cycles = 0.0;
+  double lsu_cycles = 0.0;
+  double noc_cycles = 0.0;
+  double dram_cycles = 0.0;
+};
+
+/// Aggregate over a class of phases (rotation / non-rotation / all).
+struct PhaseAggregate {
+  double seconds = 0.0;
+  double flops = 0.0;
+  double dram_bytes_measured = 0.0;
+  [[nodiscard]] double gflops() const {
+    return seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+  }
+  [[nodiscard]] double intensity() const {
+    return dram_bytes_measured > 0.0 ? flops / dram_bytes_measured : 0.0;
+  }
+};
+
+/// Full result of analyzing an FFT on a configuration.
+struct FftPerfReport {
+  std::string config_name;
+  std::vector<PhaseTiming> phases;
+  double total_cycles = 0.0;
+  double total_seconds = 0.0;
+  double actual_flops = 0.0;
+  /// Throughput by the paper's 5 N log2 N convention (Table IV numbers).
+  double standard_gflops = 0.0;
+  /// Throughput in actual FLOPs (the Roofline convention of Section VI-B).
+  double actual_gflops = 0.0;
+  PhaseAggregate rotation;
+  PhaseAggregate non_rotation;
+  PhaseAggregate overall;
+};
+
+/// Analytic model of one machine configuration.
+class FftPerfModel {
+ public:
+  explicit FftPerfModel(MachineConfig config);
+
+  /// Times the FFT whose iteration structure is `phases` over `dims`
+  /// (dims.total() is used for the 5 N log2 N convention).
+  [[nodiscard]] FftPerfReport analyze(xfft::Dims3 dims,
+                                      std::span<const xfft::KernelPhase>
+                                          phases) const;
+
+  /// Convenience: builds radix-`max_radix` phases for `dims` and analyzes.
+  [[nodiscard]] FftPerfReport analyze_fft(xfft::Dims3 dims,
+                                          unsigned max_radix = 8) const;
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  /// Times a single phase (exposed for validation against the cycle-level
+  /// machine at small scale).
+  [[nodiscard]] PhaseTiming time_phase(const xfft::KernelPhase& ph) const;
+
+ private:
+  MachineConfig config_;
+};
+
+}  // namespace xsim

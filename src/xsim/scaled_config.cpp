@@ -1,0 +1,39 @@
+#include "xsim/scaled_config.hpp"
+
+#include "xutil/check.hpp"
+#include "xutil/units.hpp"
+
+namespace xsim {
+
+MachineConfig scaled_down(const MachineConfig& base, unsigned factor) {
+  XU_CHECK_MSG(factor >= 1 && xutil::is_pow2(factor),
+               "scale factor must be a power of two");
+  XU_CHECK_MSG(base.clusters % factor == 0 &&
+                   base.memory_modules % factor == 0,
+               "factor must divide clusters and memory modules");
+  MachineConfig c = base;
+  c.name = base.name + "/" + std::to_string(factor);
+  c.clusters /= factor;
+  c.memory_modules /= factor;
+  c.tcus = c.clusters * c.tcus_per_cluster;
+  if (c.mms_per_dram_ctrl > c.memory_modules) {
+    c.mms_per_dram_ctrl = static_cast<unsigned>(c.memory_modules);
+  }
+  // Shrink the level split: the pure-MoT depth lost is 2*log2(factor);
+  // take it from the butterfly levels first.
+  unsigned lost = 2 * xutil::log2_exact(factor);
+  const unsigned bf_cut = std::min(c.butterfly_levels, lost);
+  c.butterfly_levels -= bf_cut;
+  lost -= bf_cut;
+  XU_CHECK_MSG(c.mot_levels >= lost, "cannot shrink below a 1x1 topology");
+  c.mot_levels -= lost;
+  // A now-pure MoT must have the exact full depth.
+  if (c.butterfly_levels == 0) {
+    c.mot_levels = xutil::log2_exact(c.clusters) +
+                   xutil::log2_exact(c.memory_modules);
+  }
+  c.validate();
+  return c;
+}
+
+}  // namespace xsim

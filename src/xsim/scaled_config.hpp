@@ -1,0 +1,19 @@
+// Scaled-down configurations: shrink a Table II preset by a power-of-two
+// factor while preserving its architectural ratios (TCUs per cluster,
+// MMs per controller, FPU count, NoC character), so the cycle-level
+// machine can run workloads whose relative behaviour mirrors the full
+// configuration.
+#pragma once
+
+#include "xsim/config.hpp"
+
+namespace xsim {
+
+/// Divides clusters and memory modules by `factor` (a power of two that
+/// divides both). The NoC level split shrinks with log2(factor) on each
+/// side, clamped so the topology stays valid; butterfly levels shrink
+/// first (they are the inner levels).
+[[nodiscard]] MachineConfig scaled_down(const MachineConfig& base,
+                                        unsigned factor);
+
+}  // namespace xsim

@@ -1,0 +1,54 @@
+// Error-handling primitives shared across the xmtfft libraries.
+//
+// Library code reports contract violations by throwing xutil::Error; hot
+// inner loops use XU_DCHECK, which compiles away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xutil {
+
+/// Exception thrown on contract violations and invalid configurations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace xutil
+
+/// Always-on invariant check; throws xutil::Error on failure.
+#define XU_CHECK(expr)                                                  \
+  do {                                                                  \
+    if (!(expr)) ::xutil::detail::fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Always-on invariant check with a streamed message.
+#define XU_CHECK_MSG(expr, msg)                                  \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::ostringstream xu_os_;                                 \
+      xu_os_ << msg;                                             \
+      ::xutil::detail::fail(#expr, __FILE__, __LINE__, xu_os_.str()); \
+    }                                                            \
+  } while (false)
+
+/// Debug-only check for hot paths; disappears when NDEBUG is defined.
+#ifdef NDEBUG
+#define XU_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define XU_DCHECK(expr) XU_CHECK(expr)
+#endif

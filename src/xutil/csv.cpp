@@ -1,0 +1,37 @@
+#include "xutil/csv.hpp"
+
+#include "xutil/check.hpp"
+
+namespace xutil {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  XU_CHECK_MSG(out_.good(), "cannot open CSV file for writing: " << path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace xutil

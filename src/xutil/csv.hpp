@@ -1,0 +1,32 @@
+// Minimal CSV writer for exporting bench series (e.g. Fig. 3 roofline data)
+// to files that plotting tools can consume.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace xutil {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws xutil::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; fields containing commas/quotes/newlines are quoted.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; destructor does the same.
+  void close();
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace xutil

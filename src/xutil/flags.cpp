@@ -1,0 +1,111 @@
+#include "xutil/flags.hpp"
+
+#include <charconv>
+
+#include "xutil/check.hpp"
+#include "xutil/string_util.hpp"
+
+namespace xutil {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[std::string(body)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(body)] = "";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.contains(name);
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::int64_t v = 0;
+  const auto& s = it->second;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  XU_CHECK_MSG(res.ec == std::errc{} && res.ptr == s.data() + s.size(),
+               "--" << name << " expects an integer, got '" << s << "'");
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    XU_CHECK_MSG(used == it->second.size(), "--" << name
+                                                 << " expects a number");
+    return v;
+  } catch (const std::exception&) {
+    throw Error("--" + name + " expects a number, got '" + it->second + "'");
+  }
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+void parse_dims(const std::string& text, std::size_t* nx, std::size_t* ny,
+                std::size_t* nz) {
+  XU_CHECK_MSG(!text.empty(), "empty dimension spec");
+  const auto parse_one = [&](std::string_view s) -> std::size_t {
+    std::size_t v = 0;
+    const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+    XU_CHECK_MSG(res.ec == std::errc{} && res.ptr == s.data() + s.size() &&
+                     v >= 1,
+                 "bad dimension '" << std::string(s) << "'");
+    return v;
+  };
+  const auto caret = text.find('^');
+  if (caret != std::string::npos) {
+    const std::size_t side = parse_one(std::string_view(text).substr(0, caret));
+    const std::size_t exp =
+        parse_one(std::string_view(text).substr(caret + 1));
+    XU_CHECK_MSG(exp >= 1 && exp <= 3, "exponent must be 1..3");
+    *nx = side;
+    *ny = exp >= 2 ? side : 1;
+    *nz = exp >= 3 ? side : 1;
+    return;
+  }
+  const auto parts = split(text, 'x');
+  XU_CHECK_MSG(parts.size() >= 1 && parts.size() <= 3,
+               "expected NX[xNY[xNZ]], got '" << text << "'");
+  *nx = parse_one(parts[0]);
+  *ny = parts.size() >= 2 ? parse_one(parts[1]) : 1;
+  *nz = parts.size() >= 3 ? parse_one(parts[2]) : 1;
+}
+
+}  // namespace xutil

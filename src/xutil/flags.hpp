@@ -1,0 +1,50 @@
+// Minimal command-line flag parser for the repository's tools.
+//
+// Supports `--name value`, `--name=value`, boolean `--flag`, and bare
+// positional arguments. Unknown-flag detection is the caller's job via
+// unused(); values are fetched with typed getters that throw on bad input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xutil {
+
+class Flags {
+ public:
+  /// Parses argv (excluding argv[0]).
+  Flags(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed getters with defaults; throw xutil::Error when the flag is
+  /// present but malformed.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Flags that were parsed but never queried — for unknown-flag errors.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+/// Parses "NXxNYxNZ", "N^3" or a single integer (cube side) into three
+/// dimensions; throws on malformed input.
+void parse_dims(const std::string& text, std::size_t* nx, std::size_t* ny,
+                std::size_t* nz);
+
+}  // namespace xutil

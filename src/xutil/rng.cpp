@@ -1,0 +1,15 @@
+#include "xutil/rng.hpp"
+
+namespace xutil {
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) {
+  if (bound == 0) return 0;
+  // Lemire-style rejection keeps the distribution exactly uniform.
+  const std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace xutil

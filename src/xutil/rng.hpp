@@ -1,0 +1,57 @@
+// PCG32: a small, fast, statistically solid PRNG (O'Neill 2014).
+//
+// Used instead of std::mt19937 because tests and workload generators want
+// reproducible streams that are cheap to seed and to split per thread.
+#pragma once
+
+#include <cstdint>
+
+namespace xutil {
+
+class Pcg32 {
+ public:
+  /// Seed with a state and a stream selector; distinct streams are
+  /// statistically independent, which lets parallel generators share a seed.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform value in [0, bound) without modulo bias.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [-1, 1); convenient for signal test data.
+  float next_signed_unit() {
+    return static_cast<float>(2.0 * next_double() - 1.0);
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace xutil

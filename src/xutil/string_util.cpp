@@ -1,0 +1,68 @@
+#include "xutil/string_util.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "xutil/check.hpp"
+
+namespace xutil {
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_fixed(double value, int decimals) {
+  XU_CHECK(decimals >= 0 && decimals <= 17);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_group(long long value) {
+  const bool neg = value < 0;
+  unsigned long long v =
+      neg ? 0ULL - static_cast<unsigned long long>(value)
+          : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace xutil

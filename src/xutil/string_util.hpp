@@ -1,0 +1,29 @@
+// Small string helpers shared by table/CSV rendering and CLI parsing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xutil {
+
+/// Joins `parts` with `sep` ("a", "b" with "," -> "a,b").
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Splits on a single-character separator; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style double formatting with a fixed number of decimals.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Formats with thousands separators: 131072 -> "131,072".
+[[nodiscard]] std::string format_group(long long value);
+
+}  // namespace xutil

@@ -1,0 +1,90 @@
+#include "xutil/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "xutil/check.hpp"
+#include "xutil/string_util.hpp"
+
+namespace xutil {
+
+void Table::set_header(std::vector<std::string> header) {
+  XU_CHECK_MSG(!header.empty(), "table header must have at least one column");
+  header_ = std::move(header);
+  if (align_.size() < header_.size()) {
+    align_.resize(header_.size(), Align::kRight);
+    align_[0] = Align::kLeft;
+  }
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  XU_CHECK_MSG(!header_.empty(), "set_header must be called before add_row");
+  XU_CHECK_MSG(row.size() <= header_.size(),
+               "row has " << row.size() << " cells but header has "
+                          << header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (align_.size() <= column) align_.resize(column + 1, Align::kRight);
+  align_[column] = align;
+}
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width, Align align) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return align == Align::kLeft ? s + fill : fill + s;
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  XU_CHECK_MSG(!header_.empty(), "cannot render a table without a header");
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : header_[c];
+      os << ' ' << pad(cell, width[c], align_[c]) << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  for (const auto& note : notes_) os << "  note: " << note << '\n';
+  return os.str();
+}
+
+std::string Table::render_csv() const {
+  std::ostringstream os;
+  os << join(header_, ",") << '\n';
+  for (const auto& row : rows_) os << join(row, ",") << '\n';
+  return os.str();
+}
+
+}  // namespace xutil

@@ -1,0 +1,60 @@
+// ASCII table rendering in the style of the paper's tables.
+//
+// Every bench binary regenerating one of the paper's tables uses this so the
+// output is directly comparable row-for-row with the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xutil {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: a title, a header row, and data rows.
+/// Cells are strings; numeric formatting is the caller's responsibility
+/// (see xutil/units.hpp for helpers).
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; must be called before rendering.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows are an error.
+  void add_row(std::vector<std::string> row);
+
+  /// Per-column alignment; default is left for column 0, right otherwise.
+  void set_align(std::size_t column, Align align);
+
+  /// Optional one-line note rendered under the table.
+  void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Renders the table with box-drawing rules, e.g.
+  ///   TABLE IV: FFT PERFORMANCE ON XMT
+  ///   +---------------+------+------+
+  ///   | Configuration |   4k |   8k |
+  ///   +---------------+------+------+
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as comma-separated values (header + rows, no title).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace xutil

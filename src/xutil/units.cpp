@@ -1,0 +1,56 @@
+#include "xutil/units.hpp"
+
+#include <cmath>
+
+#include "xutil/check.hpp"
+#include "xutil/string_util.hpp"
+
+namespace xutil {
+
+std::string format_gflops(double gflops) {
+  return format_group(static_cast<long long>(std::llround(gflops)));
+}
+
+std::string format_speedup(double factor) {
+  if (factor < 10.0) return format_fixed(factor, 1) + "X";
+  return format_group(static_cast<long long>(std::llround(factor))) + "X";
+}
+
+std::string format_bandwidth_bits(double bits_per_sec) {
+  if (bits_per_sec >= kTera) {
+    return format_fixed(bits_per_sec / kTera, 2) + " Tb/s";
+  }
+  return format_fixed(bits_per_sec / kGiga, 1) + " Gb/s";
+}
+
+std::string format_bandwidth_bytes(double bytes_per_sec) {
+  if (bytes_per_sec >= kTera) {
+    return format_fixed(bytes_per_sec / kTera, 2) + " TB/s";
+  }
+  return format_fixed(bytes_per_sec / kGiga, 0) + " GB/s";
+}
+
+std::string format_area_mm2(double mm2) {
+  return format_group(static_cast<long long>(std::llround(mm2))) + " mm^2";
+}
+
+std::string format_power_watts(double watts) {
+  if (watts >= 1000.0) return format_fixed(watts / 1000.0, 1) + " KW";
+  return format_fixed(watts, 0) + " W";
+}
+
+std::string format_dims3(std::uint64_t nx, std::uint64_t ny,
+                         std::uint64_t nz) {
+  if (nx == ny && ny == nz) return std::to_string(nx) + "^3";
+  return std::to_string(nx) + "x" + std::to_string(ny) + "x" +
+         std::to_string(nz);
+}
+
+unsigned log2_exact(std::uint64_t n) {
+  XU_CHECK_MSG(is_pow2(n), "log2_exact requires a power of two, got " << n);
+  unsigned r = 0;
+  while ((n >> r) != 1) ++r;
+  return r;
+}
+
+}  // namespace xutil

@@ -1,0 +1,62 @@
+// Unit formatting and conversion helpers (GFLOPS, bandwidth, area, power).
+//
+// The paper mixes decimal prefixes (GFLOPS, Tb/s) with binary problem sizes
+// (512^3 points); these helpers keep the conventions in one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xutil {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Converts FLOP/s to GFLOPS.
+[[nodiscard]] constexpr double to_gflops(double flops_per_sec) {
+  return flops_per_sec / kGiga;
+}
+
+/// Converts bytes/s to GB/s (decimal, as in the paper's bandwidth figures).
+[[nodiscard]] constexpr double to_gbytes_per_sec(double bytes_per_sec) {
+  return bytes_per_sec / kGiga;
+}
+
+/// Converts bits/s to Tb/s (paper quotes off-chip bandwidth in Tb/s).
+[[nodiscard]] constexpr double to_tbits_per_sec(double bits_per_sec) {
+  return bits_per_sec / kTera;
+}
+
+/// "239", "3,667", "12,570" — the paper prints GFLOPS with no decimals.
+[[nodiscard]] std::string format_gflops(double gflops);
+
+/// "2.8X", "482X" — speedups as in Table V (one decimal below 10, none above).
+[[nodiscard]] std::string format_speedup(double factor);
+
+/// "6.76 Tb/s" style bandwidth formatting.
+[[nodiscard]] std::string format_bandwidth_bits(double bits_per_sec);
+
+/// "422 GB/s" style bandwidth formatting.
+[[nodiscard]] std::string format_bandwidth_bytes(double bytes_per_sec);
+
+/// "227 mm^2" / "3,046 mm^2" area formatting.
+[[nodiscard]] std::string format_area_mm2(double mm2);
+
+/// "168 W" / "7.0 KW" power formatting (paper uses KW above 1000 W).
+[[nodiscard]] std::string format_power_watts(double watts);
+
+/// "512^3" style when n is a perfect cube, otherwise "AxBxC".
+[[nodiscard]] std::string format_dims3(std::uint64_t nx, std::uint64_t ny,
+                                       std::uint64_t nz);
+
+/// Integer log2 of a power of two; throws if not a power of two.
+[[nodiscard]] unsigned log2_exact(std::uint64_t n);
+
+/// True if n is a power of two (n >= 1).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace xutil

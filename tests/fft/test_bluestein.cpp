@@ -1,0 +1,83 @@
+// Tests for Bluestein's chirp-z transform (arbitrary, incl. prime, sizes).
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "xfft/bluestein.hpp"
+#include "xfft/plan1d.hpp"
+
+namespace {
+
+using xfft::Cf;
+using xfft::Direction;
+using xfft_test::oracle;
+using xfft_test::random_signal;
+using xfft_test::relative_max_error;
+using xfft_test::tol_f;
+
+TEST(Bluestein, SmoothnessClassification) {
+  EXPECT_TRUE(xfft::is_smooth_size(1));
+  EXPECT_TRUE(xfft::is_smooth_size(512));
+  EXPECT_TRUE(xfft::is_smooth_size(360));
+  EXPECT_TRUE(xfft::is_smooth_size(61));   // prime but <= kMaxRadix: direct
+  EXPECT_FALSE(xfft::is_smooth_size(67));  // prime > kMaxRadix
+  EXPECT_FALSE(xfft::is_smooth_size(2 * 127));
+  EXPECT_FALSE(xfft::is_smooth_size(0));
+}
+
+class BluesteinSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BluesteinSizes, ForwardMatchesOracle) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, n + 5000);
+  const auto want = oracle(x, Direction::kForward);
+  xfft::fft_bluestein(std::span<Cf>(x), Direction::kForward);
+  // The double convolution loses a little accuracy vs the direct plan;
+  // 4x the plan tolerance is still far below any algorithmic error.
+  EXPECT_LT((relative_max_error<Cf, Cf>(x, want)), 4.0 * tol_f(n)) << n;
+}
+
+TEST_P(BluesteinSizes, InverseMatchesOracle) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, n + 6000);
+  const auto want = oracle(x, Direction::kInverse);
+  xfft::fft_bluestein(std::span<Cf>(x), Direction::kInverse);
+  EXPECT_LT((relative_max_error<Cf, Cf>(x, want)), 4.0 * tol_f(n)) << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimesAndOthers, BluesteinSizes,
+                         ::testing::Values(2, 3, 7, 13, 67, 97, 101, 127,
+                                           251, 509, 521));
+
+TEST(Bluestein, AgreesWithPlanOnSmoothSizes) {
+  const std::size_t n = 240;  // 2^4 * 3 * 5
+  auto a = random_signal(n, 9);
+  auto b = a;
+  xfft::fft_bluestein(std::span<Cf>(a), Direction::kForward);
+  xfft::Plan1D<float> plan(n, Direction::kForward,
+                           xfft::PlanOptions{.scaling = xfft::Scaling::kNone});
+  plan.execute(std::span<Cf>(b));
+  EXPECT_LT((relative_max_error<Cf, Cf>(a, b)), 4.0 * tol_f(n));
+}
+
+TEST(Bluestein, RoundTripViaFftAny) {
+  for (const std::size_t n : {67u, 127u, 384u, 509u}) {
+    const auto original = random_signal(n, n);
+    auto x = original;
+    xfft::fft_any(std::span<Cf>(x), Direction::kForward);
+    xfft::fft_any(std::span<Cf>(x), Direction::kInverse);
+    for (auto& v : x) v *= 1.0F / static_cast<float>(n);
+    EXPECT_LT((relative_max_error<Cf, Cf>(x, original)), 8.0 * tol_f(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Bluestein, TrivialSizes) {
+  std::vector<Cf> one = {Cf{2.0F, -1.0F}};
+  xfft::fft_bluestein(std::span<Cf>(one), Direction::kForward);
+  EXPECT_EQ(one[0], (Cf{2.0F, -1.0F}));
+  std::vector<Cf> empty;
+  EXPECT_NO_THROW(
+      xfft::fft_bluestein(std::span<Cf>(empty), Direction::kForward));
+}
+
+}  // namespace

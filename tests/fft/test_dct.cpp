@@ -1,0 +1,105 @@
+// Tests for the FFT-based DCT-II / inverse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "xfft/dct.hpp"
+#include "xutil/rng.hpp"
+
+namespace {
+
+std::vector<float> random_real(std::size_t n, std::uint64_t seed) {
+  xutil::Pcg32 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_signed_unit();
+  return v;
+}
+
+class DctSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DctSizes, MatchesReference) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, n + 42);
+  std::vector<float> got(n);
+  xfft::dct2(x, std::span<float>(got));
+
+  std::vector<double> xd(x.begin(), x.end());
+  std::vector<double> want(n);
+  xfft::dct2_reference(xd, std::span<double>(want));
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(got[k], want[k], 1e-3 * std::sqrt(static_cast<double>(n)))
+        << "k=" << k;
+  }
+}
+
+TEST_P(DctSizes, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, n + 43);
+  std::vector<float> y(n);
+  std::vector<float> back(n);
+  xfft::dct2(x, std::span<float>(y));
+  xfft::idct2(y, std::span<float>(back));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-4 * std::sqrt(static_cast<double>(n)))
+        << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DctSizes,
+                         ::testing::Values(1, 2, 3, 4, 8, 15, 16, 64, 256,
+                                           360, 1024));
+
+TEST(Dct, ConstantInputConcentratesInDc) {
+  const std::size_t n = 64;
+  std::vector<float> x(n, 1.0F);
+  std::vector<float> y(n);
+  xfft::dct2(x, std::span<float>(y));
+  EXPECT_NEAR(y[0], static_cast<float>(n), 1e-3);
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(y[k], 0.0F, 1e-3) << "k=" << k;
+  }
+}
+
+TEST(Dct, CosineModeIsolatesOneBin) {
+  // x[n] = cos(pi*m*(2n+1)/(2N)) -> y[m] = N/2, others ~0.
+  const std::size_t n = 32;
+  const std::size_t m = 5;
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(
+        std::cos(std::numbers::pi * static_cast<double>(m) *
+                 (2.0 * static_cast<double>(i) + 1.0) /
+                 (2.0 * static_cast<double>(n))));
+  }
+  std::vector<float> y(n);
+  xfft::dct2(x, std::span<float>(y));
+  EXPECT_NEAR(y[m], static_cast<float>(n) / 2.0F, 1e-3);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != m) {
+      EXPECT_NEAR(y[k], 0.0F, 1e-3) << "k=" << k;
+    }
+  }
+}
+
+TEST(Dct, EnergyCompactionOnSmoothSignal) {
+  // A smooth ramp compacts its energy into the low DCT bins — the property
+  // compression relies on.
+  const std::size_t n = 128;
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i) / static_cast<float>(n);
+  }
+  std::vector<float> y(n);
+  xfft::dct2(x, std::span<float>(y));
+  double low = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double e = static_cast<double>(y[k]) * y[k];
+    total += e;
+    if (k < 8) low += e;
+  }
+  EXPECT_GT(low / total, 0.999);
+}
+
+}  // namespace

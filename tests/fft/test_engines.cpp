@@ -1,0 +1,96 @@
+// Tests for the alternative 1-D engines (recursive DIT, Stockham autosort,
+// four-step) — the ablation baselines for Section IV-A's design choices.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "xfft/engines.hpp"
+#include "xfft/plan1d.hpp"
+#include "xutil/check.hpp"
+
+namespace {
+
+using xfft::Cf;
+using xfft::Direction;
+using xfft_test::oracle;
+using xfft_test::random_signal;
+using xfft_test::relative_max_error;
+using xfft_test::tol_f;
+
+enum class Engine { kDitRecursive, kStockham, kFourStep };
+
+void run_engine(Engine e, std::span<Cf> data, Direction dir) {
+  switch (e) {
+    case Engine::kDitRecursive:
+      xfft::fft_radix2_dit_recursive(data, dir);
+      break;
+    case Engine::kStockham:
+      xfft::fft_stockham(data, dir);
+      break;
+    case Engine::kFourStep:
+      xfft::fft_four_step(data, dir, /*leaf_size=*/16);
+      break;
+  }
+}
+
+class EngineSweep
+    : public ::testing::TestWithParam<std::tuple<Engine, std::size_t>> {};
+
+TEST_P(EngineSweep, ForwardMatchesOracle) {
+  const auto [engine, n] = GetParam();
+  auto x = random_signal(n, n + 100);
+  const auto want = oracle(x, Direction::kForward);
+  run_engine(engine, std::span<Cf>(x), Direction::kForward);
+  EXPECT_LT((relative_max_error<Cf, Cf>(x, want)), tol_f(n)) << "n=" << n;
+}
+
+TEST_P(EngineSweep, InverseMatchesOracle) {
+  const auto [engine, n] = GetParam();
+  auto x = random_signal(n, n + 200);
+  const auto want = oracle(x, Direction::kInverse);  // engines are unscaled
+  run_engine(engine, std::span<Cf>(x), Direction::kInverse);
+  EXPECT_LT((relative_max_error<Cf, Cf>(x, want)), tol_f(n)) << "n=" << n;
+}
+
+TEST_P(EngineSweep, AgreesWithPlan1DBitForBitToTolerance) {
+  const auto [engine, n] = GetParam();
+  auto x = random_signal(n, n + 300);
+  auto y = x;
+  run_engine(engine, std::span<Cf>(x), Direction::kForward);
+  xfft::Plan1D<float> plan(n, Direction::kForward);
+  plan.execute(std::span<Cf>(y));
+  EXPECT_LT((relative_max_error<Cf, Cf>(x, y)), tol_f(n)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineSweep,
+    ::testing::Combine(::testing::Values(Engine::kDitRecursive,
+                                         Engine::kStockham, Engine::kFourStep),
+                       ::testing::Values(2, 4, 8, 16, 64, 256, 1024, 4096)));
+
+TEST(Engines, FourStepLeafSizeDoesNotChangeResult) {
+  const std::size_t n = 1024;
+  const auto input = random_signal(n, 77);
+  std::vector<Cf> results[3];
+  const std::size_t leaves[3] = {4, 32, 2048};
+  for (int i = 0; i < 3; ++i) {
+    auto x = input;
+    xfft::fft_four_step(std::span<Cf>(x), Direction::kForward, leaves[i]);
+    results[i] = std::move(x);
+  }
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_LT((relative_max_error<Cf, Cf>(results[i], results[0])), tol_f(n));
+  }
+}
+
+TEST(Engines, RejectNonPowerOfTwo) {
+  std::vector<Cf> x(12);
+  EXPECT_THROW(xfft::fft_stockham(std::span<Cf>(x), Direction::kForward),
+               xutil::Error);
+  EXPECT_THROW(
+      xfft::fft_radix2_dit_recursive(std::span<Cf>(x), Direction::kForward),
+      xutil::Error);
+  EXPECT_THROW(xfft::fft_four_step(std::span<Cf>(x), Direction::kForward),
+               xutil::Error);
+}
+
+}  // namespace

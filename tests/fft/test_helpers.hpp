@@ -1,0 +1,70 @@
+// Shared helpers for the FFT test suite: random data generation and
+// error metrics against the double-precision oracle.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "xfft/dft_reference.hpp"
+#include "xfft/types.hpp"
+#include "xutil/rng.hpp"
+
+namespace xfft_test {
+
+/// Deterministic random complex vector with entries in [-1, 1]^2.
+inline std::vector<xfft::Cf> random_signal(std::size_t n,
+                                           std::uint64_t seed = 42) {
+  xutil::Pcg32 rng(seed);
+  std::vector<xfft::Cf> v(n);
+  for (auto& x : v) {
+    x = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+  return v;
+}
+
+inline std::vector<xfft::Cd> random_signal_d(std::size_t n,
+                                             std::uint64_t seed = 42) {
+  xutil::Pcg32 rng(seed);
+  std::vector<xfft::Cd> v(n);
+  for (auto& x : v) {
+    x = xfft::Cd(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+  return v;
+}
+
+/// Max |a[i] - b[i]| over the vectors, normalized by the oracle's max
+/// magnitude so the bound is scale-free.
+template <typename A, typename B>
+double relative_max_error(std::span<const A> got, std::span<const B> want) {
+  double max_err = 0.0;
+  double max_mag = 1e-30;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double dr =
+        static_cast<double>(got[i].real()) - static_cast<double>(want[i].real());
+    const double di =
+        static_cast<double>(got[i].imag()) - static_cast<double>(want[i].imag());
+    max_err = std::max(max_err, std::hypot(dr, di));
+    max_mag = std::max(max_mag, std::abs(std::complex<double>(
+                                    want[i].real(), want[i].imag())));
+  }
+  return max_err / max_mag;
+}
+
+/// Oracle forward/inverse DFT of single-precision data (computed in double).
+inline std::vector<xfft::Cf> oracle(std::span<const xfft::Cf> in,
+                                    xfft::Direction dir) {
+  std::vector<xfft::Cf> out(in.size());
+  xfft::dft_reference(in, std::span<xfft::Cf>(out), dir);
+  return out;
+}
+
+/// Error tolerance for single-precision FFTs of size n: the FFT's rounding
+/// error grows ~ sqrt(log n) * eps; this bound is loose enough to be robust
+/// and tight enough to catch algorithmic mistakes (which produce O(1) error).
+inline double tol_f(std::size_t n) {
+  return 1e-5 * std::sqrt(static_cast<double>(n) + 16.0);
+}
+
+}  // namespace xfft_test

@@ -1,0 +1,160 @@
+// Tests for real-input transforms, convolution, and signal helpers.
+#include <gtest/gtest.h>
+
+#include "xutil/check.hpp"
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "xfft/convolution.hpp"
+#include "xfft/plan1d.hpp"
+#include "xfft/real.hpp"
+#include "xfft/signal.hpp"
+
+namespace {
+
+using xfft::Cf;
+using xfft::Direction;
+using xfft_test::random_signal;
+using xfft_test::relative_max_error;
+using xfft_test::tol_f;
+
+std::vector<float> random_real(std::size_t n, std::uint64_t seed) {
+  xutil::Pcg32 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_signed_unit();
+  return v;
+}
+
+class RfftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RfftSizes, MatchesComplexOracle) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, n);
+  std::vector<Cf> as_complex(n);
+  for (std::size_t i = 0; i < n; ++i) as_complex[i] = Cf(x[i], 0.0F);
+  const auto want = xfft_test::oracle(as_complex, Direction::kForward);
+
+  std::vector<Cf> bins(xfft::rfft_bins(n));
+  xfft::rfft_forward(x, std::span<Cf>(bins));
+  for (std::size_t k = 0; k < bins.size(); ++k) {
+    EXPECT_NEAR(bins[k].real(), want[k].real(), 1e-3) << "k=" << k;
+    EXPECT_NEAR(bins[k].imag(), want[k].imag(), 1e-3) << "k=" << k;
+  }
+}
+
+TEST_P(RfftSizes, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, n + 1);
+  std::vector<Cf> bins(xfft::rfft_bins(n));
+  xfft::rfft_forward(x, std::span<Cf>(bins));
+  std::vector<float> back(n);
+  xfft::rfft_inverse(bins, std::span<float>(back));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-4) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RfftSizes,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Rfft, DcAndNyquistBinsAreReal) {
+  const std::size_t n = 64;
+  const auto x = random_real(n, 9);
+  std::vector<Cf> bins(xfft::rfft_bins(n));
+  xfft::rfft_forward(x, std::span<Cf>(bins));
+  EXPECT_NEAR(bins[0].imag(), 0.0F, 1e-4);
+  EXPECT_NEAR(bins[n / 2].imag(), 0.0F, 1e-4);
+}
+
+TEST(Convolution, CircularMatchesDirect) {
+  const std::size_t n = 64;
+  const auto a = random_signal(n, 1);
+  const auto b = random_signal(n, 2);
+  const auto fast = xfft::circular_convolve(a, b);
+  const auto slow = xfft::circular_convolve_direct(a, b);
+  EXPECT_LT((relative_max_error<Cf, Cf>(fast, slow)), 1e-3);
+}
+
+TEST(Convolution, IdentityKernelIsNoOp) {
+  const std::size_t n = 32;
+  const auto a = random_signal(n, 3);
+  std::vector<Cf> delta(n, Cf{0.0F, 0.0F});
+  delta[0] = Cf{1.0F, 0.0F};
+  const auto out = xfft::circular_convolve(a, delta);
+  EXPECT_LT((relative_max_error<Cf, Cf>(out, a)), 1e-4);
+}
+
+TEST(Convolution, LinearConvolveKnownValues) {
+  // [1,2,3] * [1,1] = [1,3,5,3]
+  const float a[] = {1.0F, 2.0F, 3.0F};
+  const float b[] = {1.0F, 1.0F};
+  const auto out = xfft::linear_convolve(a, b);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NEAR(out[0], 1.0F, 1e-4);
+  EXPECT_NEAR(out[1], 3.0F, 1e-4);
+  EXPECT_NEAR(out[2], 5.0F, 1e-4);
+  EXPECT_NEAR(out[3], 3.0F, 1e-4);
+}
+
+TEST(Convolution, TwoDimensionalIdentity) {
+  const std::size_t nx = 8;
+  const std::size_t ny = 4;
+  const auto img = random_signal(nx * ny, 4);
+  std::vector<Cf> delta(nx * ny, Cf{0.0F, 0.0F});
+  delta[0] = Cf{1.0F, 0.0F};
+  const auto out = xfft::circular_convolve_2d(img, delta, nx, ny);
+  EXPECT_LT((relative_max_error<Cf, Cf>(out, img)), 1e-4);
+}
+
+TEST(Convolution, NextPow2) {
+  EXPECT_EQ(xfft::next_pow2(1), 1u);
+  EXPECT_EQ(xfft::next_pow2(2), 2u);
+  EXPECT_EQ(xfft::next_pow2(3), 4u);
+  EXPECT_EQ(xfft::next_pow2(1000), 1024u);
+}
+
+TEST(Signal, WindowEndpointsAndSymmetry) {
+  const auto hann = xfft::make_window(xfft::Window::kHann, 65);
+  EXPECT_NEAR(hann.front(), 0.0F, 1e-6);
+  EXPECT_NEAR(hann.back(), 0.0F, 1e-6);
+  EXPECT_NEAR(hann[32], 1.0F, 1e-6);
+  for (std::size_t i = 0; i < 65; ++i) {
+    EXPECT_NEAR(hann[i], hann[64 - i], 1e-6);
+  }
+  const auto rect = xfft::make_window(xfft::Window::kRectangular, 8);
+  for (const float v : rect) EXPECT_EQ(v, 1.0F);
+}
+
+TEST(Signal, SynthesizedToneHasSpectralPeakAtItsBin) {
+  const std::size_t n = 256;
+  const std::pair<double, double> tones[] = {{19.0, 1.0}};
+  auto x = xfft::synthesize_tones(n, tones);
+  std::vector<Cf> bins(xfft::rfft_bins(n));
+  xfft::rfft_forward(x, std::span<Cf>(bins));
+  const auto mag = xfft::magnitude(bins);
+  EXPECT_EQ(xfft::peak_bin(mag, 1, n / 2), 19u);
+}
+
+TEST(Signal, NoiseIsDeterministicPerSeed) {
+  std::vector<float> a(64, 0.0F);
+  std::vector<float> b(64, 0.0F);
+  xfft::add_noise(std::span<float>(a), 0.5F, 123);
+  xfft::add_noise(std::span<float>(b), 0.5F, 123);
+  EXPECT_EQ(a, b);
+  std::vector<float> c(64, 0.0F);
+  xfft::add_noise(std::span<float>(c), 0.5F, 124);
+  EXPECT_NE(a, c);
+}
+
+TEST(Signal, ParsevalViaEnergyHelpers) {
+  const std::size_t n = 128;
+  auto x = random_signal(n, 55);
+  const double te = xfft::energy(std::span<const Cf>(x));
+  xfft::Plan1D<float> plan(n, Direction::kForward);
+  plan.execute(std::span<Cf>(x));
+  const double fe = xfft::energy(std::span<const Cf>(x));
+  EXPECT_NEAR(fe / (static_cast<double>(n) * te), 1.0, 1e-4);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Tests for multi-dimensional real-input transforms.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "xfft/dft_reference.hpp"
+#include "xfft/real_nd.hpp"
+#include "xutil/check.hpp"
+#include "xutil/rng.hpp"
+
+namespace {
+
+using xfft::Cd;
+using xfft::Cf;
+using xfft::Dims3;
+
+std::vector<float> random_real(std::size_t n, std::uint64_t seed) {
+  xutil::Pcg32 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_signed_unit();
+  return v;
+}
+
+struct RndCase {
+  Dims3 dims;
+};
+
+class RealNd : public ::testing::TestWithParam<RndCase> {};
+
+TEST_P(RealNd, MatchesComplexOracleOnStoredBins) {
+  const auto dims = GetParam().dims;
+  const auto x = random_real(dims.total(), dims.total());
+  std::vector<Cf> bins(xfft::r2c_bins(dims));
+  xfft::rfftnd_forward(x, std::span<Cf>(bins), dims);
+
+  // Oracle: full complex 3-D DFT of the real field.
+  std::vector<Cd> in_d(dims.total());
+  std::vector<Cd> want(dims.total());
+  for (std::size_t i = 0; i < x.size(); ++i) in_d[i] = Cd{x[i], 0.0};
+  xfft::dft_reference_3d(in_d, std::span<Cd>(want), dims,
+                         xfft::Direction::kForward);
+
+  const std::size_t bx = dims.nx / 2 + 1;
+  for (std::size_t z = 0; z < dims.nz; ++z) {
+    for (std::size_t y = 0; y < dims.ny; ++y) {
+      for (std::size_t k = 0; k < bx; ++k) {
+        const Cf got = bins[(z * dims.ny + y) * bx + k];
+        const Cd w = want[(z * dims.ny + y) * dims.nx + k];
+        EXPECT_NEAR(got.real(), w.real(), 2e-3) << z << "," << y << "," << k;
+        EXPECT_NEAR(got.imag(), w.imag(), 2e-3) << z << "," << y << "," << k;
+      }
+    }
+  }
+}
+
+TEST_P(RealNd, RoundTripIsIdentity) {
+  const auto dims = GetParam().dims;
+  const auto x = random_real(dims.total(), dims.total() + 9);
+  std::vector<Cf> bins(xfft::r2c_bins(dims));
+  std::vector<float> back(dims.total());
+  xfft::rfftnd_forward(x, std::span<Cf>(bins), dims);
+  xfft::rfftnd_inverse(bins, std::span<float>(back), dims);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-4) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RealNd,
+                         ::testing::Values(RndCase{{8, 1, 1}},
+                                           RndCase{{8, 4, 1}},
+                                           RndCase{{16, 8, 1}},
+                                           RndCase{{8, 8, 8}},
+                                           RndCase{{16, 4, 2}},
+                                           RndCase{{4, 16, 8}}));
+
+TEST(RealNd, HermitianSymmetryIsImplicit) {
+  // The stored bins are the non-redundant half: the full spectrum's
+  // missing bins are conj mirrors, checked through Parseval.
+  const Dims3 dims{16, 8, 4};
+  const auto x = random_real(dims.total(), 3);
+  std::vector<Cf> bins(xfft::r2c_bins(dims));
+  xfft::rfftnd_forward(x, std::span<Cf>(bins), dims);
+
+  double time_energy = 0.0;
+  for (const float v : x) time_energy += static_cast<double>(v) * v;
+
+  // Frequency energy: bins at k=0 and k=nx/2 count once, others twice.
+  const std::size_t bx = dims.nx / 2 + 1;
+  double freq_energy = 0.0;
+  for (std::size_t row = 0; row < dims.ny * dims.nz; ++row) {
+    for (std::size_t k = 0; k < bx; ++k) {
+      const double e = std::norm(Cd{bins[row * bx + k].real(),
+                                    bins[row * bx + k].imag()});
+      freq_energy += (k == 0 || k == dims.nx / 2) ? e : 2.0 * e;
+    }
+  }
+  EXPECT_NEAR(freq_energy / (static_cast<double>(dims.total()) * time_energy),
+              1.0, 1e-3);
+}
+
+TEST(RealNd, RejectsOddX) {
+  const Dims3 dims{7, 4, 1};
+  std::vector<float> x(dims.total());
+  std::vector<Cf> bins((7 / 2 + 1) * 4);
+  EXPECT_THROW(xfft::rfftnd_forward(x, std::span<Cf>(bins), dims),
+               xutil::Error);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Tests for the machine-independent XMT kernel phase descriptions that feed
+// both simulator fidelities.
+#include <gtest/gtest.h>
+
+#include "xfft/types.hpp"
+#include "xfft/xmt_kernel.hpp"
+
+namespace {
+
+using xfft::build_fft_phases;
+using xfft::Dims3;
+using xfft::KernelPhase;
+
+TEST(KernelPhases, Fft512Cubed3DHasNinePhases) {
+  const auto phases = build_fft_phases(Dims3{512, 512, 512}, 8);
+  // 512 = 8^3: three radix-8 iterations per dimension, three dimensions.
+  ASSERT_EQ(phases.size(), 9u);
+  int rotations = 0;
+  for (const auto& ph : phases) {
+    EXPECT_EQ(ph.radix, 8u);
+    EXPECT_EQ(ph.threads, (512ull * 512 * 512) / 8);
+    if (ph.rotation) ++rotations;
+  }
+  // The last iteration of each dimension carries the fused rotation.
+  EXPECT_EQ(rotations, 3);
+  EXPECT_TRUE(phases[2].rotation);
+  EXPECT_TRUE(phases[5].rotation);
+  EXPECT_TRUE(phases[8].rotation);
+  EXPECT_FALSE(phases[0].rotation);
+}
+
+TEST(KernelPhases, PaperThreadCountClaim) {
+  // Section IV-A: "for an input size of 256^3, 2 million threads are
+  // available" with r = 8.
+  const auto phases = build_fft_phases(Dims3{256, 256, 256}, 8);
+  ASSERT_FALSE(phases.empty());
+  EXPECT_EQ(phases[0].threads, (256ull * 256 * 256) / 8);
+  EXPECT_NEAR(static_cast<double>(phases[0].threads), 2.0e6, 0.1e6);
+}
+
+TEST(KernelPhases, DataTrafficIsOneReadAndOneWritePerPointPerIteration) {
+  const Dims3 dims{64, 64, 64};
+  const auto phases = build_fft_phases(dims, 8);
+  const std::uint64_t n = dims.total();
+  for (const auto& ph : phases) {
+    EXPECT_EQ(ph.data_word_reads, 2 * n);   // complex = 2 words
+    EXPECT_EQ(ph.data_word_writes, 2 * n);
+  }
+}
+
+TEST(KernelPhases, ActualFlopsBelowStandardRule) {
+  // The 5N log2 N "standard" count over-counts a radix-8 implementation;
+  // actual flops should be below it but within 30%.
+  const Dims3 dims{512, 512, 512};
+  const auto phases = build_fft_phases(dims, 8);
+  const double actual =
+      static_cast<double>(xfft::phases_total_flops(phases));
+  const double standard = xfft::standard_fft_flops(dims.total());
+  EXPECT_LT(actual, standard);
+  EXPECT_GT(actual, 0.7 * standard);
+}
+
+TEST(KernelPhases, DistinctTwiddlesDecimatePerIteration) {
+  const auto phases = build_fft_phases(Dims3{512, 1, 1}, 8);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].distinct_twiddles, 512u);
+  EXPECT_EQ(phases[1].distinct_twiddles, 64u);
+  EXPECT_EQ(phases[2].distinct_twiddles, 8u);
+}
+
+TEST(KernelPhases, RankOneHasNoRotationPhases) {
+  const auto phases = build_fft_phases(Dims3{4096, 1, 1}, 8);
+  for (const auto& ph : phases) EXPECT_FALSE(ph.rotation);
+}
+
+TEST(KernelPhases, MixedRadixLengths) {
+  // 32 = 8 * 4: two iterations per dimension with different radices.
+  const auto phases = build_fft_phases(Dims3{32, 32, 1}, 8);
+  ASSERT_EQ(phases.size(), 4u);
+  EXPECT_EQ(phases[0].radix, 8u);
+  EXPECT_EQ(phases[1].radix, 4u);
+  EXPECT_TRUE(phases[1].rotation);
+}
+
+TEST(KernelPhases, TotalDataBytesMatchesPassCount) {
+  const Dims3 dims{64, 64, 64};
+  const auto phases = build_fft_phases(dims, 8);
+  // Each of the 6 iterations reads and writes every complex point once.
+  const std::uint64_t expected = 6ull * dims.total() * 8 * 2;
+  EXPECT_EQ(xfft::phases_total_data_bytes(phases), expected);
+}
+
+TEST(KernelPhases, InstructionTotalsArePositiveAndConsistent) {
+  const auto phases = build_fft_phases(Dims3{64, 64, 1}, 8);
+  for (const auto& ph : phases) {
+    EXPECT_GT(ph.total_instructions(),
+              ph.flops + ph.data_word_reads + ph.data_word_writes);
+  }
+}
+
+TEST(StandardFlops, MatchesPaperConvention) {
+  // 512^3 = 2^27 points: 5 * 2^27 * 27 flops = 18.12 Gflop.
+  const double flops = xfft::standard_fft_flops(1ull << 27);
+  EXPECT_NEAR(flops / 1e9, 18.12, 0.01);
+}
+
+}  // namespace

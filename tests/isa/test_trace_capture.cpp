@@ -1,0 +1,156 @@
+// Tests for the ISA-to-machine trace bridge: captured traces must match
+// the interpreter's semantics and dynamic counts, and assembled kernels
+// must run on the cycle-level machine end to end.
+#include <gtest/gtest.h>
+
+#include "xisa/assembler.hpp"
+#include "xisa/interpreter.hpp"
+#include "xisa/trace_capture.hpp"
+#include "xsim/machine.hpp"
+
+namespace {
+
+using xisa::assemble;
+using xisa::capture_trace;
+using xisa::SharedState;
+
+const char* kVectorScale = R"(
+    # out[i] = 2.5 * in[i]; in at word 0.., out at word 256..
+    tid  r1
+    flw  f1, 0(r1)
+    fmovi f2, 2.5
+    fmul f3, f1, f2
+    addi r2, r1, 256
+    fsw  f3, 0(r2)
+    halt
+)";
+
+TEST(TraceCapture, SideEffectsMatchInterpreter) {
+  const auto prog = assemble(kVectorScale);
+  SharedState a;
+  SharedState b;
+  a.memory.resize(512, 0);
+  b.memory.resize(512, 0);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a.store_float(i, static_cast<float>(i) * 0.25F);
+    b.store_float(i, static_cast<float>(i) * 0.25F);
+  }
+  for (std::int64_t t = 0; t < 64; ++t) {
+    (void)xisa::run_thread(prog, t, a);
+    (void)capture_trace(prog, t, b);
+  }
+  // Identical memory images afterwards.
+  EXPECT_EQ(a.memory, b.memory);
+  EXPECT_FLOAT_EQ(a.load_float(256 + 10), 2.5F * 10.0F * 0.25F);
+}
+
+TEST(TraceCapture, TraceCountsMatchDynamicExecution) {
+  const auto prog = assemble(kVectorScale);
+  SharedState st;
+  st.memory.resize(512, 0);
+  const auto trace = capture_trace(prog, 3, st);
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t ints = 0;
+  for (const auto& s : trace) {
+    switch (s.kind) {
+      case xsim::Step::Kind::kLoad: loads += 1; break;
+      case xsim::Step::Kind::kStore: stores += 1; break;
+      case xsim::Step::Kind::kFpOps: fp += s.count; break;
+      case xsim::Step::Kind::kIntOps: ints += s.count; break;
+    }
+  }
+  EXPECT_EQ(loads, 1u);
+  EXPECT_EQ(stores, 1u);
+  EXPECT_EQ(fp, 1u);
+  // tid, fmovi, addi, halt-adjacent int ops: tid + fmovi + addi = 3.
+  EXPECT_EQ(ints, 3u);
+  // Load address: word 3 -> byte 12; store: word 256+3 -> byte 1036.
+  EXPECT_EQ(trace[1].addr, 12u);
+}
+
+TEST(TraceCapture, LoopTraceHasDynamicLength) {
+  const auto prog = assemble(R"(
+      tid  r1          # loop count = tid
+      movi r2, 0
+    loop:
+      beq  r2, r1, end
+      flw  f1, 0(r2)
+      addi r2, r2, 1
+      j    loop
+    end:
+      halt
+  )");
+  SharedState st;
+  st.memory.resize(64, 0);
+  const auto count_loads = [&](std::int64_t tid) {
+    std::uint64_t loads = 0;
+    for (const auto& s : capture_trace(prog, tid, st)) {
+      if (s.kind == xsim::Step::Kind::kLoad) ++loads;
+    }
+    return loads;
+  };
+  EXPECT_EQ(count_loads(0), 0u);
+  EXPECT_EQ(count_loads(5), 5u);
+  EXPECT_EQ(count_loads(32), 32u);
+}
+
+TEST(TraceCapture, AssembledKernelRunsOnTheCycleLevelMachine) {
+  // End-to-end toolchain flow: assemble -> capture per-thread traces ->
+  // time on the machine.
+  xsim::MachineConfig cfg;
+  cfg.name = "isa-mini";
+  cfg.clusters = 4;
+  cfg.tcus = 4 * 32;
+  cfg.memory_modules = 4;
+  cfg.mot_levels = 4;
+  cfg.butterfly_levels = 0;
+  cfg.mms_per_dram_ctrl = 2;
+  cfg.fpus_per_cluster = 2;
+  cfg.cache_bytes_per_mm = 8 * 1024;
+  cfg.validate();
+  xsim::Machine machine(cfg);
+
+  auto state = std::make_shared<SharedState>();
+  state->memory.resize(1024, 0);
+  const auto prog = assemble(kVectorScale);
+  const auto res = machine.run_parallel_section(
+      128, xisa::make_isa_generator(prog, state));
+  EXPECT_EQ(res.threads, 128u);
+  EXPECT_EQ(res.mem_requests, 256u);  // 1 load + 1 store per thread
+  EXPECT_EQ(res.fp_ops, 128u);
+  EXPECT_GT(res.cycles, 0u);
+  // The interpretation happened during trace capture, so the shared image
+  // holds the computed outputs.
+  EXPECT_FLOAT_EQ(state->load_float(256 + 7), 0.0F);  // inputs were zero
+}
+
+TEST(TraceCapture, PsTrafficSeesCorrectPrefixSums) {
+  const auto prog = assemble(R"(
+      movi r2, 1
+      ps   r3, g0, r2
+      sw   r3, 100(r3)   # store slot id at 100+slot
+      halt
+  )");
+  auto state = std::make_shared<SharedState>();
+  state->memory.resize(256, 0);
+  xsim::MachineConfig cfg;
+  cfg.name = "isa-mini";
+  cfg.clusters = 2;
+  cfg.tcus = 64;
+  cfg.memory_modules = 2;
+  cfg.mot_levels = 2;
+  cfg.butterfly_levels = 0;
+  cfg.mms_per_dram_ctrl = 1;
+  cfg.validate();
+  xsim::Machine machine(cfg);
+  (void)machine.run_parallel_section(32,
+                                     xisa::make_isa_generator(prog, state));
+  EXPECT_EQ(state->globals[0], 32);
+  for (int s = 0; s < 32; ++s) {
+    EXPECT_EQ(state->load_int(100 + static_cast<std::size_t>(s)), s);
+  }
+}
+
+}  // namespace

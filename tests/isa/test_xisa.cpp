@@ -1,0 +1,278 @@
+// Tests for the XMT-style ISA: assembler round-trips, interpreter
+// semantics, the prefix-sum instruction, and — as the integration capstone
+// — a radix-2 FFT whose butterfly kernel is written in assembly and run
+// one-thread-per-butterfly, validated against the plan library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "xfft/permute.hpp"
+#include "xfft/plan1d.hpp"
+#include "xisa/assembler.hpp"
+#include "xisa/interpreter.hpp"
+#include "xutil/check.hpp"
+
+namespace {
+
+using xisa::assemble;
+using xisa::Program;
+using xisa::run_spawn;
+using xisa::run_thread;
+using xisa::SharedState;
+
+TEST(Assembler, ParsesEveryInstructionForm) {
+  const Program p = assemble(R"(
+    # every syntactic form
+    start:
+      movi r1, 10
+      addi r2, r1, -3
+      add  r3, r1, r2
+      slt  r4, r2, r1
+      fmovi f1, 0.5
+      fadd f2, f1, f1
+      lw   r5, 4(r1)
+      fsw  f2, 0(r5)
+      beq  r1, r2, done
+      bne  r1, r2, start
+      tid  r6
+      ps   r7, g0, r1
+    done:
+      halt
+  )");
+  EXPECT_EQ(p.code.size(), 13u);
+  EXPECT_EQ(p.code[0].op, xisa::Op::kMovi);
+  EXPECT_EQ(p.code[8].imm, 12);  // beq -> done (instruction 12)
+  EXPECT_EQ(p.code[9].imm, 0);   // bne -> start
+  // Disassembly mentions every mnemonic we used.
+  const std::string d = xisa::disassemble(p);
+  for (const char* m : {"movi", "addi", "slt", "fmovi", "lw", "fsw", "beq",
+                        "tid", "ps", "halt"}) {
+    EXPECT_NE(d.find(m), std::string::npos) << m;
+  }
+}
+
+TEST(Assembler, RejectsErrors) {
+  EXPECT_THROW(assemble("frobnicate r1, r2"), xutil::Error);
+  EXPECT_THROW(assemble("add r1, r2"), xutil::Error);           // arity
+  EXPECT_THROW(assemble("add r1, r2, r99"), xutil::Error);      // register
+  EXPECT_THROW(assemble("beq r1, r2, nowhere"), xutil::Error);  // label
+  EXPECT_THROW(assemble("x: halt\nx: halt"), xutil::Error);     // dup label
+  EXPECT_THROW(assemble("ps r1, g9, r2"), xutil::Error);        // global
+  EXPECT_THROW(assemble("lw r1, r2"), xutil::Error);            // mem form
+}
+
+TEST(Interpreter, ArithmeticAndR0Hardwiredzero) {
+  SharedState st;
+  const auto r = run_thread(assemble(R"(
+    movi r1, 21
+    add  r1, r1, r1     # 42
+    movi r2, 5
+    mul  r3, r1, r2     # 210
+    div  r4, r3, r2     # 42
+    sub  r5, r4, r1     # 0
+    movi r0, 99         # writes to r0 are discarded
+    add  r6, r0, r4     # 42
+    halt
+  )"), 0, st);
+  EXPECT_EQ(r.regs[3], 210);
+  EXPECT_EQ(r.regs[5], 0);
+  EXPECT_EQ(r.regs[0], 0);
+  EXPECT_EQ(r.regs[6], 42);
+}
+
+TEST(Interpreter, LoopSumsFirstHundredIntegers) {
+  SharedState st;
+  const auto r = run_thread(assemble(R"(
+      movi r1, 0        # i
+      movi r2, 0        # sum
+      movi r3, 101
+    loop:
+      add  r2, r2, r1
+      addi r1, r1, 1
+      blt  r1, r3, loop
+      halt
+  )"), 0, st);
+  EXPECT_EQ(r.regs[2], 5050);
+}
+
+TEST(Interpreter, MemoryAndFloats) {
+  SharedState st;
+  st.memory.resize(16, 0);
+  st.store_float(4, 1.5F);
+  const auto r = run_thread(assemble(R"(
+    movi r1, 4
+    flw  f1, 0(r1)      # 1.5
+    fmovi f2, 2.25
+    fmul f3, f1, f2     # 3.375
+    fsw  f3, 1(r1)
+    halt
+  )"), 0, st);
+  EXPECT_EQ(r.mem_ops, 2u);
+  EXPECT_EQ(r.fp_ops, 1u);
+  EXPECT_FLOAT_EQ(st.load_float(5), 3.375F);
+}
+
+TEST(Interpreter, GuardsAgainstRunawayAndBadAccess) {
+  SharedState st;
+  st.memory.resize(4, 0);
+  EXPECT_THROW(run_thread(assemble("x: j x"), 0, st, 1000), xutil::Error);
+  EXPECT_THROW(run_thread(assemble("movi r1, 100\nlw r2, 0(r1)\nhalt"), 0,
+                          st),
+               xutil::Error);
+  EXPECT_THROW(run_thread(assemble("movi r1, 1\nmovi r2, 0\ndiv r3, r1, r2\nhalt"),
+                          0, st),
+               xutil::Error);
+}
+
+TEST(Interpreter, PrefixSumCompactionAcrossSpawn) {
+  // The canonical XMT idiom at ISA level: threads whose input word is odd
+  // claim consecutive output slots via ps.
+  SharedState st;
+  st.memory.resize(256, 0);
+  for (int i = 0; i < 64; ++i) st.store_int(i, i * 3);  // odd when i is odd
+  const Program p = assemble(R"(
+      tid  r1
+      lw   r2, 0(r1)       # input[i]
+      movi r3, 1
+      and  r4, r2, r3      # low bit
+      beq  r4, r0, skip
+      ps   r5, g0, r3      # slot = g0++
+      addi r5, r5, 64      # output region
+      sw   r2, 0(r5)
+    skip:
+      halt
+  )");
+  const auto res = run_spawn(p, 64, st);
+  EXPECT_EQ(res.threads, 64u);
+  EXPECT_EQ(st.globals[0], 32);  // half the inputs are odd
+  // Every output slot holds an odd value.
+  for (int s = 0; s < 32; ++s) {
+    EXPECT_EQ(st.load_int(64 + static_cast<std::size_t>(s)) % 2, 1) << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FFT butterfly kernel in assembly.
+// ---------------------------------------------------------------------------
+
+/// Builds the per-stage radix-2 DIF butterfly program. Memory layout
+/// (word addressed): 0..2 = {sub, block, tw_stride}; data at kDataBase
+/// (interleaved re/im); twiddles at kTwBase (interleaved re/im of w_n^-k).
+constexpr int kDataBase = 16;
+
+std::string butterfly_asm(int tw_base) {
+  char buf[2048];
+  std::snprintf(buf, sizeof(buf), R"(
+      tid  r1              # j
+      movi r10, 0
+      lw   r2, 0(r10)      # sub
+      lw   r3, 1(r10)      # block
+      lw   r4, 2(r10)      # tw_stride
+      div  r5, r1, r2      # j / sub
+      mul  r5, r5, r3      # base = (j/sub)*block
+      div  r6, r1, r2
+      mul  r6, r6, r2
+      sub  r6, r1, r6      # off = j %% sub
+      add  r7, r5, r6      # pos0
+      add  r8, r7, r2      # pos1 = pos0 + sub
+      movi r9, 2
+      mul  r7, r7, r9
+      addi r7, r7, %d      # &data[pos0]
+      mul  r8, r8, r9
+      addi r8, r8, %d      # &data[pos1]
+      flw  f1, 0(r7)       # a.re
+      flw  f2, 1(r7)       # a.im
+      flw  f3, 0(r8)       # b.re
+      flw  f4, 1(r8)       # b.im
+      fadd f5, f1, f3      # y0 = a + b
+      fadd f6, f2, f4
+      fsub f7, f1, f3      # d = a - b
+      fsub f8, f2, f4
+      mul  r11, r6, r4     # twiddle index = off * tw_stride
+      mul  r11, r11, r9
+      addi r11, r11, %d    # &tw[index]
+      flw  f9, 0(r11)      # w.re
+      flw  f10, 1(r11)     # w.im
+      fmul f11, f7, f9
+      fmul f12, f8, f10
+      fsub f11, f11, f12   # y1.re = dr*wr - di*wi
+      fmul f12, f7, f10
+      fmul f13, f8, f9
+      fadd f12, f12, f13   # y1.im = dr*wi + di*wr
+      fsw  f5, 0(r7)
+      fsw  f6, 1(r7)
+      fsw  f11, 0(r8)
+      fsw  f12, 1(r8)
+      halt
+  )", kDataBase, kDataBase, tw_base);
+  return buf;
+}
+
+TEST(IsaFft, AssemblyButterflyComputesTheFft) {
+  const std::size_t n = 64;
+  const int tw_base = kDataBase + 2 * static_cast<int>(n);
+
+  // Shared memory image: params + data + twiddle table.
+  SharedState st;
+  st.memory.resize(static_cast<std::size_t>(tw_base) + n, 0);
+  std::vector<xfft::Cf> input(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    input[i] = xfft::Cf(std::sin(0.37F * static_cast<float>(i)) * 0.8F,
+                        std::cos(0.11F * static_cast<float>(i)) * 0.5F);
+    st.store_float(kDataBase + 2 * i, input[i].real());
+    st.store_float(kDataBase + 2 * i + 1, input[i].imag());
+  }
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double a =
+        -2.0 * std::numbers::pi * static_cast<double>(k) /
+        static_cast<double>(n);
+    st.store_float(static_cast<std::size_t>(tw_base) + 2 * k,
+                   static_cast<float>(std::cos(a)));
+    st.store_float(static_cast<std::size_t>(tw_base) + 2 * k + 1,
+                   static_cast<float>(std::sin(a)));
+  }
+
+  // One spawn per DIF stage, one thread per butterfly — the paper's
+  // breadth-first structure, at ISA level.
+  const Program kernel = assemble(butterfly_asm(tw_base));
+  std::size_t block = n;
+  std::uint64_t total_fp = 0;
+  while (block >= 2) {
+    const std::size_t sub = block / 2;
+    st.store_int(0, static_cast<std::int32_t>(sub));
+    st.store_int(1, static_cast<std::int32_t>(block));
+    st.store_int(2, static_cast<std::int32_t>(n / block));
+    // Thread j of this spawn handles butterfly j of the whole array:
+    // j spans all blocks because base = (j/sub)*block.
+    const auto res = run_spawn(kernel, static_cast<std::int64_t>(n / 2), st);
+    total_fp += res.fp_ops;
+    block = sub;
+  }
+  // 6 stages x 32 butterflies x 10 fp ops (4 add/sub + 4 mul + 2 add/sub).
+  EXPECT_EQ(total_fp, 6u * 32u * 10u);
+
+  // Undo the digit reversal and compare against the plan library.
+  std::vector<xfft::Cf> raw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    raw[i] = xfft::Cf(st.load_float(kDataBase + 2 * i),
+                      st.load_float(kDataBase + 2 * i + 1));
+  }
+  std::vector<unsigned> radices(6, 2);
+  const auto perm = xfft::dif_output_permutation(radices, n);
+  std::vector<xfft::Cf> got(n);
+  for (std::size_t k = 0; k < n; ++k) got[k] = raw[perm[k]];
+
+  auto want = input;
+  xfft::Plan1D<float> plan(n, xfft::Direction::kForward,
+                           xfft::PlanOptions{.max_radix = 2});
+  plan.execute(std::span<xfft::Cf>(want));
+
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(got[k].real(), want[k].real(), 1e-4) << "k=" << k;
+    EXPECT_NEAR(got[k].imag(), want[k].imag(), 1e-4) << "k=" << k;
+  }
+}
+
+}  // namespace

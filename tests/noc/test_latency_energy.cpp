@@ -1,0 +1,91 @@
+// Tests for the NoC latency model (vs queue simulation) and the energy
+// accounting helpers.
+#include <gtest/gtest.h>
+
+#include "xnoc/latency.hpp"
+#include "xnoc/queue_sim.hpp"
+#include "xphys/energy.hpp"
+#include "xsim/perf_model.hpp"
+#include "xutil/check.hpp"
+
+namespace {
+
+using xnoc::hybrid;
+using xnoc::pure_mot;
+using xnoc::TrafficPattern;
+
+TEST(Latency, BaseLatencyIsPipelineDepth) {
+  // At negligible load the latency is levels + 1 (module service).
+  const auto t = hybrid(32, 32, 6, 4);
+  EXPECT_NEAR(xnoc::expected_latency_cycles(t, TrafficPattern::kUniform,
+                                            0.01),
+              11.0, 0.5);
+}
+
+TEST(Latency, GrowsWithLoadAndPattern) {
+  const auto t = hybrid(32, 32, 6, 4);
+  const double l_low =
+      xnoc::expected_latency_cycles(t, TrafficPattern::kUniform, 0.2);
+  const double l_high =
+      xnoc::expected_latency_cycles(t, TrafficPattern::kUniform, 0.9);
+  EXPECT_GT(l_high, l_low);
+  const double l_rot =
+      xnoc::expected_latency_cycles(t, TrafficPattern::kTranspose, 0.2);
+  EXPECT_GT(l_rot, l_low);  // transpose contends harder at equal load
+}
+
+TEST(Latency, PureMotHasNoButterflyQueueing) {
+  const auto mot = pure_mot(32, 32);
+  const auto hyb = hybrid(32, 32, 6, 4);
+  // Same pipeline depth difference aside, the hybrid pays queueing in its
+  // shared stages at high load.
+  const double l_mot =
+      xnoc::expected_latency_cycles(mot, TrafficPattern::kUniform, 0.9) -
+      (mot.total_levels() + 1);
+  const double l_hyb =
+      xnoc::expected_latency_cycles(hyb, TrafficPattern::kUniform, 0.9) -
+      (hyb.total_levels() + 1);
+  EXPECT_GT(l_hyb, l_mot);
+}
+
+TEST(Latency, OrderingMatchesQueueSimulation) {
+  // The queue simulation's measured latencies must order the same way the
+  // analytic model predicts (uniform < transpose on a hybrid).
+  const auto t = hybrid(32, 32, 4, 5);
+  const auto uni = xnoc::simulate_noc(t, TrafficPattern::kUniform, 300);
+  const auto rot = xnoc::simulate_noc(t, TrafficPattern::kTranspose, 300);
+  EXPECT_LT(uni.avg_latency_cycles, rot.avg_latency_cycles);
+  const double m_uni =
+      xnoc::expected_latency_cycles(t, TrafficPattern::kUniform, 0.8);
+  const double m_rot =
+      xnoc::expected_latency_cycles(t, TrafficPattern::kTranspose, 0.8);
+  EXPECT_LT(m_uni, m_rot);
+}
+
+TEST(Latency, RejectsBadLoad) {
+  const auto t = pure_mot(8, 8);
+  EXPECT_THROW((void)xnoc::expected_latency_cycles(
+                   t, TrafficPattern::kUniform, 0.0),
+               xutil::Error);
+  EXPECT_THROW((void)xnoc::expected_latency_cycles(
+                   t, TrafficPattern::kUniform, 1.5),
+               xutil::Error);
+}
+
+TEST(Energy, XmtVsEdisonPerTransform) {
+  // The paper's power story in joules: XMT 128k x4 does a 512^3 FFT in
+  // ~1 ms at 7 KW (~7 J); Edison does a 1024^3 in ~12 ms at 2.5 MW
+  // (~30 kJ) — three and a half orders of magnitude per-FLOP difference.
+  const auto xmt = xsim::FftPerfModel(xsim::preset_128k_x4())
+                       .analyze_fft({512, 512, 512});
+  const auto e_xmt = xphys::energy_per_run(
+      7000.0, xmt.total_seconds, xfft::standard_fft_flops(1ull << 27));
+  const auto e_edison = xphys::energy_per_run(
+      2.5e6, 161.1e9 / 13.6e12, xfft::standard_fft_flops(1ull << 30));
+  EXPECT_LT(e_xmt.joules_per_run, 10.0);
+  EXPECT_GT(e_edison.joules_per_run, 10000.0);
+  EXPECT_GT(e_edison.pj_per_flop / e_xmt.pj_per_flop, 100.0);
+  EXPECT_GT(e_xmt.runs_per_kwh, 100000.0);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for NoC topology, analytic contention, and the packet-level queue
+// simulation — including the cross-check that the analytic model's
+// qualitative assumptions emerge from the queue simulation.
+#include <gtest/gtest.h>
+
+#include "xnoc/contention.hpp"
+#include "xnoc/queue_sim.hpp"
+#include "xnoc/topology.hpp"
+#include "xutil/check.hpp"
+
+namespace {
+
+using xnoc::ContentionParams;
+using xnoc::hybrid;
+using xnoc::pure_mot;
+using xnoc::Topology;
+using xnoc::TrafficPattern;
+
+TEST(Topology, PureMotLevelsMatchTableII) {
+  // 4k: 128x128 -> 14 levels; 8k: 256x256 -> 16 levels.
+  EXPECT_EQ(pure_mot(128, 128).mot_levels, 14u);
+  EXPECT_EQ(pure_mot(256, 256).mot_levels, 16u);
+  EXPECT_TRUE(pure_mot(128, 128).is_pure_mot());
+}
+
+TEST(Topology, HybridLevelSplitsOfTableII) {
+  const Topology t64k = hybrid(2048, 2048, 8, 7);
+  EXPECT_EQ(t64k.total_levels(), 15u);
+  const Topology t128k = hybrid(4096, 4096, 6, 9);
+  EXPECT_EQ(t128k.total_levels(), 15u);
+}
+
+TEST(Topology, RejectsInvalidConfigurations) {
+  EXPECT_THROW(xnoc::validate(Topology{100, 128, 14, 0}), xutil::Error);
+  EXPECT_THROW(xnoc::validate(Topology{128, 128, 10, 0}), xutil::Error);
+  EXPECT_THROW(xnoc::validate(Topology{128, 128, 10, 9}), xutil::Error);
+}
+
+TEST(Topology, PureMotSwitchCountIsQuadratic) {
+  // C*(M-1) + M*(C-1) = 2CM - C - M.
+  EXPECT_EQ(xnoc::switch_count(pure_mot(256, 256)), 2u * 256 * 256 - 512);
+  EXPECT_EQ(xnoc::switch_count(pure_mot(4, 4)), 24u);
+}
+
+TEST(Topology, PaperNocAreaAnchors) {
+  // Section II-B: 8k TCUs (256x256) needs 190 mm^2 of MoT; 16k (512x512)
+  // needs 760 mm^2 — i.e. 4x the switches.
+  const auto s8k = xnoc::switch_count(pure_mot(256, 256));
+  const auto s16k = xnoc::switch_count(pure_mot(512, 512));
+  EXPECT_NEAR(static_cast<double>(s16k) / static_cast<double>(s8k), 4.0,
+              0.02);
+}
+
+TEST(Topology, HybridHasFarFewerSwitchesThanPureMot) {
+  const auto pure = xnoc::switch_count(pure_mot(2048, 2048));
+  const auto hyb = xnoc::switch_count(hybrid(2048, 2048, 8, 7));
+  EXPECT_LT(hyb, pure / 10);
+}
+
+TEST(Contention, PureMotIsNonBlocking) {
+  EXPECT_DOUBLE_EQ(
+      xnoc::efficiency(pure_mot(128, 128), TrafficPattern::kUniform), 1.0);
+  EXPECT_DOUBLE_EQ(
+      xnoc::efficiency(pure_mot(128, 128), TrafficPattern::kTranspose), 1.0);
+}
+
+TEST(Contention, ButterflyLevelsCompound) {
+  const Topology t7 = hybrid(2048, 2048, 8, 7);
+  const Topology t9 = hybrid(4096, 4096, 6, 9);
+  const double u7 = xnoc::efficiency(t7, TrafficPattern::kUniform);
+  const double u9 = xnoc::efficiency(t9, TrafficPattern::kUniform);
+  EXPECT_GT(u7, u9);
+  EXPECT_GT(u9, 0.8);  // uniform traffic loses little
+  const double r7 = xnoc::efficiency(t7, TrafficPattern::kTranspose);
+  const double r9 = xnoc::efficiency(t9, TrafficPattern::kTranspose);
+  EXPECT_GT(r7, r9);
+  EXPECT_LT(r7, u7);  // transpose always worse than uniform
+}
+
+TEST(Contention, HotSpotCollapsesToSingleModuleRate) {
+  const Topology t = pure_mot(128, 128);
+  EXPECT_DOUBLE_EQ(xnoc::efficiency(t, TrafficPattern::kHotSpot),
+                   1.0 / 128.0);
+}
+
+TEST(QueueSim, PureMotSustainsNearFullThroughputUnderUniform) {
+  const auto r = xnoc::simulate_noc(pure_mot(16, 16),
+                                    TrafficPattern::kUniform, 500);
+  // Random module imbalance costs a little; non-blocking fabric costs none.
+  EXPECT_GT(r.efficiency, 0.75);
+  EXPECT_EQ(r.packets, 16u * 500u);
+}
+
+TEST(QueueSim, ButterflyUniformStaysHighButBelowMot) {
+  const auto mot = xnoc::simulate_noc(pure_mot(16, 16),
+                                      TrafficPattern::kUniform, 500);
+  const auto bf = xnoc::simulate_noc(hybrid(16, 16, 4, 4),
+                                     TrafficPattern::kUniform, 500);
+  EXPECT_LE(bf.efficiency, mot.efficiency + 0.05);
+  EXPECT_GT(bf.efficiency, 0.5);
+}
+
+TEST(QueueSim, TransposeDegradesMoreThanUniformOnButterfly) {
+  const Topology t = hybrid(32, 32, 4, 5);
+  const auto uni =
+      xnoc::simulate_noc(t, TrafficPattern::kUniform, 400);
+  const auto rot =
+      xnoc::simulate_noc(t, TrafficPattern::kTranspose, 400);
+  EXPECT_LT(rot.efficiency, uni.efficiency);
+}
+
+TEST(QueueSim, HotSpotThroughputIsOneModulesRate) {
+  const Topology t = hybrid(16, 16, 4, 4);
+  const auto hot = xnoc::simulate_noc(t, TrafficPattern::kHotSpot, 64);
+  // 16 ports all feeding one module that retires 1/cycle.
+  EXPECT_NEAR(hot.efficiency, 1.0 / 16.0, 0.02);
+}
+
+TEST(QueueSim, AllPacketsDrainAndLatencyIsSane) {
+  const Topology t = hybrid(16, 16, 4, 4);
+  const auto r = xnoc::simulate_noc(t, TrafficPattern::kUniform, 200);
+  EXPECT_EQ(r.packets, 16u * 200u);
+  EXPECT_GE(r.avg_latency_cycles, t.butterfly_levels);
+  EXPECT_GT(r.max_queue_depth, 0u);
+}
+
+TEST(QueueSim, DeterministicForFixedSeed) {
+  const Topology t = hybrid(16, 16, 4, 4);
+  const auto a = xnoc::simulate_noc(t, TrafficPattern::kUniform, 100, 7);
+  const auto b = xnoc::simulate_noc(t, TrafficPattern::kUniform, 100, 7);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// Tests for the PRAM algorithm library, against serial references and
+// over randomized + parameterized inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "xmtc/runtime.hpp"
+#include "xpram/algorithms.hpp"
+#include "xutil/check.hpp"
+#include "xutil/rng.hpp"
+
+namespace {
+
+std::vector<std::int64_t> random_ints(std::size_t n, std::uint64_t seed,
+                                      std::int64_t lo, std::int64_t hi) {
+  xutil::Pcg32 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) {
+    x = lo + static_cast<std::int64_t>(
+                 rng.next_below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+  return v;
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizes, ExclusiveScanMatchesSerial) {
+  const std::size_t n = GetParam();
+  const auto in = random_ints(n, n, -50, 50);
+  xmtc::Runtime rt;
+  const auto got = xpram::exclusive_scan(rt, in);
+  ASSERT_EQ(got.size(), n);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], acc) << "i=" << i;
+    acc += in[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(0, 1, 2, 3, 7, 8, 64, 100, 1000));
+
+TEST(Scan, EmptyAndSingle) {
+  xmtc::Runtime rt;
+  EXPECT_TRUE(xpram::exclusive_scan(rt, std::vector<std::int64_t>{}).empty());
+  const std::vector<std::int64_t> one = {42};
+  const auto s = xpram::exclusive_scan(rt, one);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], 0);
+}
+
+TEST(Compact, UnorderedKeepsExactlyTheMarkedElements) {
+  const std::size_t n = 500;
+  const auto values = random_ints(n, 3, 0, 1000000);
+  std::vector<std::uint8_t> keep(n);
+  for (std::size_t i = 0; i < n; ++i) keep[i] = (values[i] % 3 == 0) ? 1 : 0;
+
+  xmtc::Runtime rt;
+  auto got = xpram::compact(rt, values, keep);
+  std::vector<std::int64_t> want;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i] != 0) want.push_back(values[i]);
+  }
+  ASSERT_EQ(got.size(), want.size());
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(Compact, StableVariantPreservesOrder) {
+  const std::size_t n = 300;
+  const auto values = random_ints(n, 5, 0, 9);
+  std::vector<std::uint8_t> keep(n);
+  for (std::size_t i = 0; i < n; ++i) keep[i] = (i % 2 == 0) ? 1 : 0;
+
+  xmtc::Runtime rt;
+  const auto got = xpram::compact_stable(rt, values, keep);
+  std::vector<std::int64_t> want;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i] != 0) want.push_back(values[i]);
+  }
+  EXPECT_EQ(got, want);  // exact order
+}
+
+TEST(Reduce, MatchesAccumulateAcrossSizes) {
+  xmtc::Runtime rt;
+  for (const std::size_t n : {0u, 1u, 2u, 5u, 63u, 64u, 65u, 777u}) {
+    const auto in = random_ints(n, n * 7 + 1, -1000, 1000);
+    EXPECT_EQ(xpram::reduce_sum(rt, in),
+              std::accumulate(in.begin(), in.end(), std::int64_t{0}))
+        << "n=" << n;
+  }
+}
+
+TEST(ListRank, RanksAReversedChain) {
+  // Chain 0 -> 1 -> 2 -> ... -> n-1 (tail): rank[i] = n-1-i.
+  const std::size_t n = 100;
+  std::vector<std::int64_t> next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = i + 1 < n ? static_cast<std::int64_t>(i + 1)
+                        : static_cast<std::int64_t>(i);
+  }
+  xmtc::Runtime rt;
+  const auto rank = xpram::list_rank(rt, next);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(rank[i], static_cast<std::int64_t>(n - 1 - i)) << "i=" << i;
+  }
+}
+
+TEST(ListRank, RanksAShuffledList) {
+  // Build a random permutation chain and verify ranks against a serial walk.
+  const std::size_t n = 257;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  xutil::Pcg32 rng(11);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.next_below(static_cast<std::uint32_t>(i + 1))]);
+  }
+  std::vector<std::int64_t> next(n);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    next[order[k]] = static_cast<std::int64_t>(order[k + 1]);
+  }
+  next[order[n - 1]] = static_cast<std::int64_t>(order[n - 1]);  // tail
+
+  xmtc::Runtime rt;
+  const auto rank = xpram::list_rank(rt, next);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(rank[order[k]], static_cast<std::int64_t>(n - 1 - k))
+        << "position " << k;
+  }
+}
+
+TEST(Merge, MergesWithDuplicatesStably) {
+  xmtc::Runtime rt;
+  const std::vector<std::int64_t> a = {1, 3, 3, 5, 9};
+  const std::vector<std::int64_t> b = {2, 3, 3, 8, 9, 10};
+  const auto got = xpram::parallel_merge(rt, a, b);
+  std::vector<std::int64_t> want(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), want.begin());
+  EXPECT_EQ(got, want);
+}
+
+TEST(Merge, RandomizedAgainstStdMerge) {
+  xmtc::Runtime rt;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto a = random_ints(100 + seed * 13, seed, 0, 50);
+    auto b = random_ints(80 + seed * 7, seed + 100, 0, 50);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const auto got = xpram::parallel_merge(rt, a, b);
+    std::vector<std::int64_t> want(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), want.begin());
+    EXPECT_EQ(got, want) << "seed=" << seed;
+  }
+}
+
+TEST(Merge, EmptySides) {
+  xmtc::Runtime rt;
+  const std::vector<std::int64_t> a = {1, 2, 3};
+  const std::vector<std::int64_t> empty;
+  EXPECT_EQ(xpram::parallel_merge(rt, a, empty), a);
+  EXPECT_EQ(xpram::parallel_merge(rt, empty, a), a);
+  EXPECT_TRUE(xpram::parallel_merge(rt, empty, empty).empty());
+}
+
+TEST(Merge, RejectsUnsortedInput) {
+  xmtc::Runtime rt;
+  const std::vector<std::int64_t> bad = {3, 1, 2};
+  const std::vector<std::int64_t> ok = {1, 2};
+  EXPECT_THROW(xpram::parallel_merge(rt, bad, ok), xutil::Error);
+}
+
+TEST(CountingSort, SortsStablyByKey) {
+  xmtc::Runtime rt;
+  std::vector<std::pair<std::int32_t, std::int64_t>> items;
+  xutil::Pcg32 rng(17);
+  for (std::int64_t v = 0; v < 400; ++v) {
+    items.emplace_back(static_cast<std::int32_t>(rng.next_below(16)), v);
+  }
+  const auto got = xpram::counting_sort(rt, items, 16);
+  ASSERT_EQ(got.size(), items.size());
+  // Keys ascending; values (insertion order) ascending within a key.
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].first, got[i].first);
+    if (got[i - 1].first == got[i].first) {
+      EXPECT_LT(got[i - 1].second, got[i].second);
+    }
+  }
+  // Same multiset of values.
+  std::vector<std::int64_t> vals;
+  for (const auto& [k, v] : got) vals.push_back(v);
+  std::sort(vals.begin(), vals.end());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(vals[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(CountingSort, RejectsOutOfRangeKeys) {
+  xmtc::Runtime rt;
+  std::vector<std::pair<std::int32_t, std::int64_t>> items = {{5, 0}};
+  EXPECT_THROW(xpram::counting_sort(rt, items, 4), xutil::Error);
+}
+
+TEST(Integration, RadixSortFromCountingSortPasses) {
+  // 4 passes of 8-bit counting sort = 32-bit radix sort — the compound
+  // PRAM pattern.
+  xmtc::Runtime rt;
+  auto values = random_ints(1000, 23, 0, (1LL << 31) - 1);
+  std::vector<std::pair<std::int32_t, std::int64_t>> items;
+  for (const auto v : values) items.emplace_back(0, v);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (auto& [k, v] : items) {
+      k = static_cast<std::int32_t>((v >> (8 * pass)) & 0xFF);
+    }
+    items = xpram::counting_sort(rt, items, 256);
+  }
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(items[i].second, values[i]) << "i=" << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Tests for the reference-platform models (Xeon/FFTW, Edison, Table I).
+#include <gtest/gtest.h>
+
+#include "xref/edison.hpp"
+#include "xref/gpu.hpp"
+#include "xref/past_speedups.hpp"
+#include "xref/xeon.hpp"
+
+namespace {
+
+TEST(Xeon, AreaScalesToAbout197mm2At22nm) {
+  // Section VI-A: "the E5-2690 would use about 197 mm^2 in 22 nm".
+  EXPECT_NEAR(xref::xeon_area_at_22nm_mm2(), 197.0, 2.0);
+}
+
+TEST(Xeon, FourKUsesAbout1_15xXeonSilicon) {
+  // Section VI-A: the 4k configuration (227 mm^2) is ~1.15x an E5-2690.
+  EXPECT_NEAR(227.0 / xref::xeon_area_at_22nm_mm2(), 1.15, 0.02);
+}
+
+TEST(Xeon, CalibratedThroughputsSitNearRooflineEstimates) {
+  const xref::XeonE5_2690 x;
+  // The calibrated FFTW numbers must be within 20% of what the platform's
+  // Roofline decomposition predicts — i.e. they are physically plausible,
+  // not arbitrary.
+  EXPECT_NEAR(xref::serial_roofline_estimate_gflops(x) / x.serial_fftw_gflops,
+              1.0, 0.20);
+  EXPECT_NEAR(
+      xref::parallel_roofline_estimate_gflops(x) / x.parallel32_fftw_gflops,
+      1.0, 0.20);
+}
+
+TEST(Xeon, DualSocketSpeedupOverSerialIsAbout11x) {
+  // 85.4 / 7.71 — the parallel FFTW scaling implied by the paper's ratios.
+  const xref::XeonE5_2690 x;
+  EXPECT_NEAR(x.parallel32_fftw_gflops / x.serial_fftw_gflops, 11.1, 0.5);
+}
+
+TEST(Edison, NormalizedAreaMatchesTableVI) {
+  // 56,177 cm^2 (22 nm) + 4,072 cm^2 (40 nm) -> 57,409 cm^2 at 22 nm.
+  EXPECT_NEAR(xref::normalized_area_cm2(), 57409.0, 60.0);
+}
+
+TEST(Edison, PercentOfPeakMatchesTableVI) {
+  EXPECT_NEAR(xref::fft_percent_of_peak(), 0.57, 0.01);
+}
+
+TEST(Edison, CoreAndCacheBookkeeping) {
+  const xref::EdisonMachine m;
+  // 5192 nodes x 2 sockets x 12 cores = 124,608 cores.
+  EXPECT_EQ(m.nodes * 24, m.cores);
+  // 2 x 30 MB L3 per node -> 311,520 MB total.
+  EXPECT_NEAR(static_cast<double>(m.nodes) * 60.0, m.total_cache_mb, 1.0);
+}
+
+TEST(Edison, CommunicationBoundModelLandsOnMeasuredPoint) {
+  const xref::EdisonMachine m;
+  const xref::EdisonFftModel model;
+  const double tf = xref::modeled_fft_teraflops(m, model, 1024);
+  EXPECT_NEAR(tf / m.fft_teraflops, 1.0, 0.10);
+}
+
+TEST(Edison, ModelIsCommunicationDominated) {
+  // Removing the communication term should speed the model up by far more
+  // than removing the compute term — the paper's core claim about why the
+  // cluster sits at 0.57% of peak.
+  const xref::EdisonMachine m;
+  xref::EdisonFftModel fast_net;
+  fast_net.effective_a2a_gbytes_per_node = 1e6;  // infinite network
+  xref::EdisonFftModel fast_cpu;
+  fast_cpu.local_fft_efficiency = 1.0;  // perfect local compute
+  const double base = xref::modeled_fft_teraflops(m, {}, 1024);
+  const double no_net = xref::modeled_fft_teraflops(m, fast_net, 1024);
+  const double no_cpu = xref::modeled_fft_teraflops(m, fast_cpu, 1024);
+  EXPECT_GT(no_net / base, 3.0);
+  EXPECT_LT(no_cpu / base, 2.0);
+}
+
+TEST(Edison, XmtComparisonRatiosOfTableVI) {
+  // XMT 128k x4: 19.0 TFLOPS for FFT vs Edison 13.6 -> 1.4X; Edison needs
+  // ~870x the normalized silicon and ~357x the power.
+  const xref::EdisonMachine m;
+  EXPECT_NEAR(19.0 / m.fft_teraflops, 1.4, 0.05);
+  EXPECT_NEAR(xref::normalized_area_cm2(m) / 66.0, 870.0, 10.0);
+  EXPECT_NEAR(m.peak_power_kw / 7.0, 357.0, 5.0);
+}
+
+TEST(Gpu, DeviceResidentFftMatchesGtx280Measurement) {
+  // [14]: ~120 GFLOPS for the 2-D 1024x1024 FFT on the GTX 280.
+  EXPECT_NEAR(xref::device_fft_gflops(xref::gtx_280()), 120.0, 5.0);
+}
+
+TEST(Gpu, HybridLibraryMatchesChenLiMeasurements) {
+  // [15]: 43 GFLOPS (2-D) and 27 GFLOPS (3-D) on the Tesla C2075; the
+  // 3-D case pays PCIe streaming once per dimension (out-of-core).
+  const auto gpu = xref::tesla_c2075();
+  const double g2d = xref::hybrid_fft_gflops(
+      gpu, xfft::Dims3{8192, 8192, 1}, /*transfer_passes=*/2);
+  const double g3d = xref::hybrid_fft_gflops(
+      gpu, xfft::Dims3{512, 512, 512}, /*transfer_passes=*/6);
+  EXPECT_NEAR(g2d / 43.0, 1.0, 0.25);
+  EXPECT_NEAR(g3d / 27.0, 1.0, 0.25);
+  EXPECT_GT(g2d, g3d);  // 3-D is slower: more PCIe passes
+}
+
+TEST(Gpu, PcieIsTheHybridBottleneck) {
+  auto fast_pcie = xref::tesla_c2075();
+  fast_pcie.pcie_gbytes = 1e6;
+  const double base = xref::hybrid_fft_gflops(
+      xref::tesla_c2075(), xfft::Dims3{512, 512, 512}, 6);
+  const double no_pcie =
+      xref::hybrid_fft_gflops(fast_pcie, xfft::Dims3{512, 512, 512}, 6);
+  EXPECT_GT(no_pcie / base, 3.0);
+}
+
+TEST(PastSpeedups, TableIRowsPresent) {
+  const auto rows = xref::table1_rows();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[1].xmt, "129X");
+  EXPECT_EQ(rows[2].algorithm, "Max Flow [27]");
+}
+
+TEST(PastSpeedups, PriorFftDataPoint) {
+  const auto r = xref::prior_fft_result();
+  EXPECT_NEAR(r.xmt_speedup / r.amd_speedup, 5.1, 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Tests for the Roofline model and the Fig. 3 series construction.
+#include <gtest/gtest.h>
+
+#include "xroof/roofline.hpp"
+#include "xsim/perf_model.hpp"
+
+namespace {
+
+using xroof::Platform;
+
+TEST(Roofline, AttainableIsMinOfSegments) {
+  const Platform p{"test", 1000.0, 100.0};
+  EXPECT_DOUBLE_EQ(xroof::attainable_gflops(p, 1.0), 100.0);   // sloped
+  EXPECT_DOUBLE_EQ(xroof::attainable_gflops(p, 100.0), 1000.0);  // flat
+  EXPECT_DOUBLE_EQ(xroof::attainable_gflops(p, p.ridge_intensity()),
+                   1000.0);
+  EXPECT_DOUBLE_EQ(p.ridge_intensity(), 10.0);
+}
+
+TEST(Roofline, PlatformForConfigUsesPeakRates) {
+  const auto cfg = xsim::preset_128k_x4();
+  const auto p = xroof::platform_for(cfg);
+  EXPECT_NEAR(p.peak_gflops, 54000.0, 100.0);
+  EXPECT_NEAR(p.peak_bw_gbytes, 4096.0 * 8.0 * 3.3, 1.0);
+}
+
+TEST(Roofline, FftIntensityUpperBound) {
+  // 0.25 * log2(S) FLOPs/byte; a 20 MB (5M single words) cache gives ~5.6.
+  const double s_words = 20.0 * 1024 * 1024 / 4.0;
+  EXPECT_NEAR(xroof::fft_intensity_upper_bound(s_words), 5.58, 0.05);
+  // Larger caches allow higher intensity.
+  EXPECT_GT(xroof::fft_intensity_upper_bound(1 << 24),
+            xroof::fft_intensity_upper_bound(1 << 20));
+}
+
+TEST(Roofline, FftSeriesHasThreeOrderedMarkers) {
+  const auto cfg = xsim::preset_8k();
+  const auto report =
+      xsim::FftPerfModel(cfg).analyze_fft(xfft::Dims3{512, 512, 512});
+  const auto s = xroof::fft_series(cfg, report);
+  ASSERT_EQ(s.markers.size(), 3u);
+  EXPECT_EQ(s.markers[0].label, "rotation");
+  EXPECT_EQ(s.markers[1].label, "non-rotation");
+  EXPECT_EQ(s.markers[2].label, "overall");
+  // Fig. 3 layout: rotation left of overall left of non-rotation.
+  EXPECT_LT(s.markers[0].intensity, s.markers[2].intensity);
+  EXPECT_LT(s.markers[2].intensity, s.markers[1].intensity);
+  // No marker exceeds its roofline.
+  for (const auto& m : s.markers) {
+    EXPECT_LE(m.fraction_of_roofline, 1.0001) << m.label;
+    EXPECT_GT(m.fraction_of_roofline, 0.0) << m.label;
+  }
+}
+
+TEST(Roofline, MarkersOfSmallConfigsSitOnTheSlopedLine) {
+  // Observation (a) again, through the Roofline API this time.
+  const auto cfg = xsim::preset_4k();
+  const auto report =
+      xsim::FftPerfModel(cfg).analyze_fft(xfft::Dims3{512, 512, 512});
+  const auto s = xroof::fft_series(cfg, report);
+  for (const auto& m : s.markers) {
+    EXPECT_GT(m.fraction_of_roofline, 0.93) << m.label;
+  }
+}
+
+TEST(Roofline, SampleCurveIsMonotonicAndCapped) {
+  const Platform p{"test", 500.0, 50.0};
+  const auto pts = xroof::sample_roofline(p, 0.1, 100.0, 32);
+  ASSERT_EQ(pts.size(), 32u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+    EXPECT_LE(pts[i].second, 500.0);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 500.0);
+}
+
+}  // namespace

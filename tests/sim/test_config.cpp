@@ -1,0 +1,85 @@
+// Tests that the configuration presets reproduce Table II and the derived
+// quantities the paper states in prose.
+#include <gtest/gtest.h>
+
+#include "xsim/config.hpp"
+#include "xutil/check.hpp"
+
+namespace {
+
+TEST(Config, TableIIRows) {
+  const auto presets = xsim::paper_presets();
+  ASSERT_EQ(presets.size(), 5u);
+
+  const std::uint64_t tcus[] = {4096, 8192, 65536, 131072, 131072};
+  const std::uint64_t clusters[] = {128, 256, 2048, 4096, 4096};
+  const unsigned mot[] = {14, 16, 8, 6, 6};
+  const unsigned bf[] = {0, 0, 7, 9, 9};
+  const unsigned mms_per_ctrl[] = {8, 8, 8, 4, 1};
+  const unsigned fpus[] = {1, 1, 1, 2, 4};
+
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    const auto& c = presets[i];
+    EXPECT_EQ(c.tcus, tcus[i]) << c.name;
+    EXPECT_EQ(c.clusters, clusters[i]) << c.name;
+    EXPECT_EQ(c.memory_modules, clusters[i]) << c.name;
+    EXPECT_EQ(c.mot_levels, mot[i]) << c.name;
+    EXPECT_EQ(c.butterfly_levels, bf[i]) << c.name;
+    EXPECT_EQ(c.mms_per_dram_ctrl, mms_per_ctrl[i]) << c.name;
+    EXPECT_EQ(c.fpus_per_cluster, fpus[i]) << c.name;
+    EXPECT_EQ(c.tcus_per_cluster, 32u) << c.name;
+    EXPECT_EQ(c.alus_per_cluster, 32u) << c.name;
+    EXPECT_EQ(c.mdus_per_cluster, 1u) << c.name;
+    EXPECT_EQ(c.lsus_per_cluster, 1u) << c.name;
+    EXPECT_NO_THROW(c.validate());
+  }
+}
+
+TEST(Config, DerivedChannelCountsMatchProse) {
+  // Section V-B: 8k has 32 DRAM channels; V-C: 64k has 256.
+  EXPECT_EQ(xsim::preset_8k().dram_channels(), 32u);
+  EXPECT_EQ(xsim::preset_64k().dram_channels(), 256u);
+  EXPECT_EQ(xsim::preset_128k_x2().dram_channels(), 1024u);
+  EXPECT_EQ(xsim::preset_128k_x4().dram_channels(), 4096u);
+}
+
+TEST(Config, PeakFlopsMatchTableVI) {
+  // Table VI: 54 peak teraFLOPS for 128k x4.
+  EXPECT_NEAR(xsim::preset_128k_x4().peak_flops_per_sec() / 1e12, 54.0, 0.1);
+}
+
+TEST(Config, OffChipBandwidthMatchesProse) {
+  // Section V-B: 6.76 Tb/s for the 8k configuration.
+  EXPECT_NEAR(xsim::preset_8k().dram_bw_bytes_per_sec() * 8.0 / 1e12, 6.76,
+              0.01);
+}
+
+TEST(Config, TotalCacheMatchesTableVI) {
+  // Table VI: 128 MB of total cache for 128k x4 (4096 x 32 KB).
+  EXPECT_EQ(xsim::preset_128k_x4().total_cache_bytes(),
+            128ull * 1024 * 1024);
+}
+
+TEST(Config, ValidationCatchesInconsistencies) {
+  auto c = xsim::preset_4k();
+  c.tcus = 4000;  // no longer clusters * 32
+  EXPECT_THROW(c.validate(), xutil::Error);
+
+  auto d = xsim::preset_4k();
+  d.mms_per_dram_ctrl = 3;  // does not divide 128
+  EXPECT_THROW(d.validate(), xutil::Error);
+
+  auto e = xsim::preset_4k();
+  e.mot_levels = 13;  // pure MoT must be log2(C)+log2(M)
+  EXPECT_THROW(e.validate(), xutil::Error);
+}
+
+TEST(Config, Table3ReportedRowsPresent) {
+  const auto rows = xsim::table3_reported();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[2].name, "64k");
+  EXPECT_EQ(rows[2].si_layers, 8);
+  EXPECT_NEAR(rows[2].total_area_mm2, 3046.0, 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// Tests of the cycle-level machine: draining/invariant properties, the
+// NBW-FSM no-deadlock property, resource-scaling monotonicity, hot-spot
+// behaviour, and cross-fidelity agreement with the analytic model.
+#include <gtest/gtest.h>
+
+#include "xfft/xmt_kernel.hpp"
+#include "xsim/fft_traffic.hpp"
+#include "xsim/machine.hpp"
+#include "xsim/perf_model.hpp"
+#include "xutil/check.hpp"
+
+namespace {
+
+using xfft::Dims3;
+using xsim::Machine;
+using xsim::MachineConfig;
+using xsim::MachineResult;
+
+/// A small machine the detailed simulation can run quickly: 8 clusters of
+/// 32 TCUs, 8 memory modules, hybrid 4+2 NoC, 4 DRAM channels.
+MachineConfig tiny_config() {
+  MachineConfig c;
+  c.name = "tiny";
+  c.clusters = 8;
+  c.tcus = 8 * 32;
+  c.memory_modules = 8;
+  c.mot_levels = 4;
+  c.butterfly_levels = 2;
+  c.mms_per_dram_ctrl = 2;
+  c.fpus_per_cluster = 1;
+  c.node = xphys::TechNode::k22nm;
+  c.cache_bytes_per_mm = 8 * 1024;
+  c.validate();
+  return c;
+}
+
+MachineConfig tiny_pure_mot() {
+  MachineConfig c = tiny_config();
+  c.name = "tiny-mot";
+  c.mot_levels = 6;
+  c.butterfly_levels = 0;
+  c.validate();
+  return c;
+}
+
+TEST(Machine, AllThreadsCompleteAndCountsConserve) {
+  Machine m(tiny_config());
+  const auto gen = xsim::make_uniform_generator(4, 4, 1 << 20, 1);
+  const auto r = m.run_parallel_section(512, gen);
+  EXPECT_EQ(r.threads, 512u);
+  EXPECT_EQ(r.ps_allocations, 512u);
+  // Every issued memory request reaches a module exactly once.
+  EXPECT_EQ(r.mem_requests, 512u * 8u);
+  EXPECT_LE(r.cache_hits, r.mem_requests);
+  EXPECT_EQ(r.mem_requests - r.cache_hits, r.dram_line_fills);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  Machine m(tiny_config());
+  const auto gen = xsim::make_uniform_generator(4, 2, 1 << 18, 3);
+  const auto a = m.run_parallel_section(256, gen);
+  const auto b = m.run_parallel_section(256, gen);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.dram_line_fills, b.dram_line_fills);
+}
+
+TEST(Machine, FpOnlyWorkloadIsComputeBoundAtFullUtilization) {
+  Machine m(tiny_config());
+  const auto gen = [](std::uint64_t) -> xsim::ThreadProgram {
+    return {{xsim::Step::Kind::kFpOps, 64, 0}};
+  };
+  // 8 clusters x 1 FPU, 2048 threads x 64 flops = 131072 flops ->
+  // at least 16384 cycles; near-full FPU utilization.
+  const auto r = m.run_parallel_section(2048, gen);
+  EXPECT_EQ(r.fp_ops, 2048u * 64u);
+  EXPECT_GE(r.cycles, 16384u);
+  EXPECT_GT(r.fpu_utilization, 0.9);
+}
+
+TEST(Machine, MoreFpusReduceComputeBoundTime) {
+  auto c4 = tiny_config();
+  c4.fpus_per_cluster = 4;
+  Machine m1(tiny_config());
+  Machine m4(c4);
+  const auto gen = [](std::uint64_t) -> xsim::ThreadProgram {
+    return {{xsim::Step::Kind::kFpOps, 64, 0}};
+  };
+  const auto r1 = m1.run_parallel_section(1024, gen);
+  const auto r4 = m4.run_parallel_section(1024, gen);
+  EXPECT_LT(r4.cycles, r1.cycles);
+  EXPECT_NEAR(static_cast<double>(r1.cycles) / r4.cycles, 4.0, 1.0);
+}
+
+TEST(Machine, HotSpotSerializesOnOneModule) {
+  Machine m(tiny_pure_mot());
+  // 256 threads each load the same address 4 times: one module services
+  // 1/cycle, so >= ~1024 cycles even though 8 modules exist.
+  const auto r = m.run_parallel_section(
+      256, xsim::make_hotspot_generator(4, 0x1000));
+  EXPECT_GE(r.cycles, 1024u);
+  // Spread traffic of the same volume over a cache-resident footprint
+  // (warm run) uses all 8 module ports in parallel and is far faster.
+  const auto gen = xsim::make_uniform_generator(4, 0, 4096, 9);
+  (void)m.run_parallel_section(256, gen);  // warm the caches
+  const auto spread = m.run_parallel_section(256, gen, /*keep_cache=*/true);
+  EXPECT_GT(spread.cache_hit_rate(), 0.95);
+  EXPECT_LT(spread.cycles * 3, r.cycles);
+}
+
+TEST(Machine, SequentialDramStreamsBeatRandom) {
+  auto cfg = tiny_config();
+  cfg.cache_bytes_per_mm = 1024;  // force misses
+  Machine m(cfg);
+  // Sequential: thread t streams adjacent lines.
+  const auto seq = [](std::uint64_t t) -> xsim::ThreadProgram {
+    xsim::ThreadProgram p;
+    for (unsigned i = 0; i < 8; ++i) {
+      p.push_back({xsim::Step::Kind::kLoad, 1, t * 256 + i * 32});
+    }
+    return p;
+  };
+  const auto rs = m.run_parallel_section(512, seq);
+  const auto rr = m.run_parallel_section(
+      512, xsim::make_uniform_generator(8, 0, 1 << 26, 11));
+  // The hash scrambles line order per channel, so row hits are rare in
+  // both cases, but random-footprint traffic cannot beat the streaming
+  // pattern.
+  EXPECT_LE(rs.cycles, rr.cycles * 11 / 10);
+  EXPECT_EQ(rs.threads, 512u);
+}
+
+TEST(Machine, PrefetchWindowLimitsOutstandingLoads) {
+  auto opt = xsim::MachineOptions{};
+  opt.max_outstanding_loads = 1;
+  Machine strict(tiny_config(), opt);
+  Machine loose(tiny_config());  // default window 4
+  const auto gen = xsim::make_uniform_generator(16, 0, 1 << 22, 5);
+  const auto rs = strict.run_parallel_section(128, gen);
+  const auto rl = loose.run_parallel_section(128, gen);
+  EXPECT_GT(rs.cycles, rl.cycles);  // stalling on every load is slower
+}
+
+TEST(Machine, CacheHitsAfterWarmup) {
+  Machine m(tiny_config());
+  const auto gen = xsim::make_uniform_generator(8, 0, 4096, 13);
+  const auto cold = m.run_parallel_section(128, gen);
+  const auto warm = m.run_parallel_section(128, gen, /*keep_cache=*/true);
+  EXPECT_GT(warm.cache_hit_rate(), 0.95);
+  EXPECT_LE(cold.cache_hit_rate(), warm.cache_hit_rate());
+  EXPECT_LT(warm.cycles, cold.cycles);
+}
+
+TEST(Machine, DeadlockGuardFires) {
+  auto opt = xsim::MachineOptions{};
+  opt.cycle_limit = 100;
+  Machine m(tiny_config(), opt);
+  const auto gen = xsim::make_uniform_generator(64, 64, 1 << 20, 17);
+  EXPECT_THROW(m.run_parallel_section(4096, gen), xutil::Error);
+}
+
+// ---------------------------------------------------------------------------
+// FFT traffic through the detailed machine.
+// ---------------------------------------------------------------------------
+
+TEST(MachineFft, PhaseTrafficDrainsAndTouchesEveryPoint) {
+  const Dims3 dims{64, 8, 1};
+  const auto phases = xfft::build_fft_phases(dims, 8);
+  const auto cfg = tiny_config();
+  Machine m(cfg);
+  const auto gen = xsim::make_fft_phase_generator(cfg, dims, phases[0]);
+  const auto r = m.run_parallel_section(phases[0].threads, gen);
+  EXPECT_EQ(r.threads, phases[0].threads);
+  // 8 data loads + 7 twiddle loads + 8 stores per thread.
+  EXPECT_EQ(r.mem_requests, phases[0].threads * 23u);
+}
+
+TEST(MachineFft, RotationPhaseIsSlowerThanMatchingIteration) {
+  // Same dims, same radix, same volume: the scattered writes of the
+  // rotation phase must cost at least as much as the in-place iteration.
+  const Dims3 dims{64, 64, 1};
+  const auto phases = xfft::build_fft_phases(dims, 8);
+  ASSERT_EQ(phases.size(), 4u);
+  const auto cfg = tiny_config();
+  Machine m(cfg);
+  const auto t_plain = m.run_parallel_section(
+      phases[0].threads,
+      xsim::make_fft_phase_generator(cfg, dims, phases[0]));
+  const auto t_rot = m.run_parallel_section(
+      phases[1].threads,
+      xsim::make_fft_phase_generator(cfg, dims, phases[1]));
+  ASSERT_TRUE(phases[1].rotation);
+  EXPECT_GE(t_rot.cycles * 10, t_plain.cycles * 9);  // allow 10% noise
+}
+
+TEST(MachineFft, UnreplicatedTwiddleTableIsSlower) {
+  // The paper's replication rationale, sharpest in the LAST iteration:
+  // there the live roots have decimated down to a handful (here: all
+  // butterflies read root 0), so with a single table copy every thread's
+  // twiddle reads queue on one memory location — the per-location queueing
+  // Section IV-A calls a bottleneck. Replicas spread those reads.
+  const Dims3 dims{512, 8, 1};
+  const auto phases = xfft::build_fft_phases(dims, 8);
+  ASSERT_EQ(phases[2].iter, 2);  // block 8, all twiddle indices collapse
+  // Hot-spot queueing is a cache-module service-rate effect, so measure it
+  // with warm, capacity-ample caches (cold runs are DRAM-bound and mask
+  // it — the DRAM-bound regime is covered by other tests).
+  auto cfg = tiny_config();
+  cfg.cache_bytes_per_mm = 256 * 1024;
+  // Plenty of FPUs so the memory system, not arithmetic, is binding.
+  cfg.fpus_per_cluster = 8;
+  cfg.validate();
+  Machine m(cfg);
+  xsim::FftTrafficOptions replicated;
+  replicated.twiddle_copies = 64;
+  xsim::FftTrafficOptions single;
+  single.twiddle_copies = 1;
+  const auto gen_rep =
+      xsim::make_fft_phase_generator(cfg, dims, phases[2], replicated);
+  const auto gen_one =
+      xsim::make_fft_phase_generator(cfg, dims, phases[2], single);
+  (void)m.run_parallel_section(phases[2].threads, gen_rep);  // warm
+  const auto r_rep =
+      m.run_parallel_section(phases[2].threads, gen_rep, /*keep_cache=*/true);
+  (void)m.run_parallel_section(phases[2].threads, gen_one);  // warm
+  const auto r_one =
+      m.run_parallel_section(phases[2].threads, gen_one, /*keep_cache=*/true);
+  EXPECT_GT(r_rep.cache_hit_rate(), 0.99);
+  EXPECT_GT(r_one.cache_hit_rate(), 0.99);
+  EXPECT_GT(r_one.cycles, r_rep.cycles * 3 / 2);
+}
+
+TEST(MachineFft, CrossFidelityAgreementWithAnalyticModel) {
+  // The two fidelities describe the same machine; on a homogeneous phase
+  // their cycle counts should agree within a small factor (the analytic
+  // model is calibrated at scale; the detailed machine adds latency
+  // effects the batched model folds into efficiencies).
+  const Dims3 dims{64, 64, 1};
+  const auto phases = xfft::build_fft_phases(dims, 8);
+  const auto cfg = tiny_config();
+
+  Machine m(cfg);
+  const auto detailed = m.run_parallel_section(
+      phases[0].threads,
+      xsim::make_fft_phase_generator(cfg, dims, phases[0]));
+
+  xsim::FftPerfModel model(cfg);
+  const auto analytic = model.time_phase(phases[0]);
+
+  const double ratio =
+      static_cast<double>(detailed.cycles) / analytic.cycles;
+  EXPECT_GT(ratio, 0.4) << "detailed " << detailed.cycles << " vs analytic "
+                        << analytic.cycles;
+  EXPECT_LT(ratio, 2.5) << "detailed " << detailed.cycles << " vs analytic "
+                        << analytic.cycles;
+}
+
+}  // namespace

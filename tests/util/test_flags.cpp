@@ -1,0 +1,87 @@
+// Tests for the command-line flag parser and dimension-spec parsing.
+#include <gtest/gtest.h>
+
+#include "xutil/check.hpp"
+#include "xutil/flags.hpp"
+
+namespace {
+
+xutil::Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> v(args);
+  return xutil::Flags(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Flags, ParsesBothSyntaxes) {
+  const auto f = make({"--config", "64k", "--size=512^3", "--verbose"});
+  EXPECT_EQ(f.get("config", ""), "64k");
+  EXPECT_EQ(f.get("size", ""), "512^3");
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_FALSE(f.has("missing"));
+  EXPECT_EQ(f.get("missing", "fallback"), "fallback");
+}
+
+TEST(Flags, TypedGetters) {
+  const auto f = make({"--n", "42", "--ratio=0.25", "--bad", "xyz"});
+  EXPECT_EQ(f.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0.0), 0.25);
+  EXPECT_EQ(f.get_int("absent", -7), -7);
+  EXPECT_THROW((void)f.get_int("bad", 0), xutil::Error);
+  EXPECT_THROW((void)f.get_double("bad", 0.0), xutil::Error);
+}
+
+TEST(Flags, PositionalArguments) {
+  const auto f = make({"simulate", "--config", "8k", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "simulate");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(Flags, UnusedTracksUnqueriedFlags) {
+  const auto f = make({"--used", "1", "--typo", "2"});
+  (void)f.get("used", "");
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, BooleanBeforeAnotherFlag) {
+  const auto f = make({"--verbose", "--n", "3"});
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_EQ(f.get("verbose", "x"), "");
+  EXPECT_EQ(f.get_int("n", 0), 3);
+}
+
+TEST(ParseDims, AllSpellings) {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t z = 0;
+  xutil::parse_dims("512^3", &x, &y, &z);
+  EXPECT_EQ(x, 512u);
+  EXPECT_EQ(y, 512u);
+  EXPECT_EQ(z, 512u);
+  xutil::parse_dims("1024^2", &x, &y, &z);
+  EXPECT_EQ(x, 1024u);
+  EXPECT_EQ(y, 1024u);
+  EXPECT_EQ(z, 1u);
+  xutil::parse_dims("64x32x16", &x, &y, &z);
+  EXPECT_EQ(x, 64u);
+  EXPECT_EQ(y, 32u);
+  EXPECT_EQ(z, 16u);
+  xutil::parse_dims("128", &x, &y, &z);
+  EXPECT_EQ(x, 128u);
+  EXPECT_EQ(y, 1u);
+  EXPECT_EQ(z, 1u);
+}
+
+TEST(ParseDims, RejectsMalformedSpecs) {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t z = 0;
+  EXPECT_THROW(xutil::parse_dims("", &x, &y, &z), xutil::Error);
+  EXPECT_THROW(xutil::parse_dims("axb", &x, &y, &z), xutil::Error);
+  EXPECT_THROW(xutil::parse_dims("2^4", &x, &y, &z), xutil::Error);
+  EXPECT_THROW(xutil::parse_dims("1x2x3x4", &x, &y, &z), xutil::Error);
+  EXPECT_THROW(xutil::parse_dims("0x2", &x, &y, &z), xutil::Error);
+}
+
+}  // namespace

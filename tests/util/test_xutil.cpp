@@ -1,0 +1,194 @@
+// Tests for the xutil foundation library.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "xutil/aligned.hpp"
+#include "xutil/check.hpp"
+#include "xutil/csv.hpp"
+#include "xutil/rng.hpp"
+#include "xutil/stats.hpp"
+#include "xutil/string_util.hpp"
+#include "xutil/table.hpp"
+#include "xutil/units.hpp"
+
+namespace {
+
+TEST(Check, ThrowsWithLocationAndMessage) {
+  try {
+    XU_CHECK_MSG(1 == 2, "math is broken: " << 42);
+    FAIL() << "expected throw";
+  } catch (const xutil::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken: 42"), std::string::npos);
+  }
+}
+
+TEST(Aligned, VectorDataIsCacheLineAligned) {
+  xutil::AlignedVector<float> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+}
+
+TEST(Rng, DeterministicAndStreamIndependent) {
+  xutil::Pcg32 a(1, 1);
+  xutil::Pcg32 b(1, 1);
+  xutil::Pcg32 c(1, 2);
+  EXPECT_EQ(a.next_u32(), b.next_u32());
+  // Different streams diverge immediately with overwhelming probability.
+  bool diverged = false;
+  for (int i = 0; i < 4; ++i) diverged |= (a.next_u32() != c.next_u32());
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  xutil::Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  xutil::Pcg32 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, MeanVarianceMinMax) {
+  xutil::RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  xutil::Pcg32 rng(11);
+  xutil::RunningStats all;
+  xutil::RunningStats a;
+  xutil::RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, Percentile) {
+  const double v[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(xutil::percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(xutil::percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(xutil::percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(xutil::percentile(v, 25.0), 2.0);
+}
+
+TEST(Strings, JoinSplitTrim) {
+  EXPECT_EQ(xutil::join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(xutil::join({}, ","), "");
+  const auto parts = xutil::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(xutil::trim("  hi \n"), "hi");
+  EXPECT_EQ(xutil::trim(""), "");
+  EXPECT_TRUE(xutil::starts_with("dim0.iter1", "dim0"));
+  EXPECT_FALSE(xutil::starts_with("d", "dim"));
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(xutil::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(xutil::format_group(131072), "131,072");
+  EXPECT_EQ(xutil::format_group(-1234567), "-1,234,567");
+  EXPECT_EQ(xutil::format_group(7), "7");
+}
+
+TEST(Units, PaperStyleFormatting) {
+  EXPECT_EQ(xutil::format_gflops(12570.4), "12,570");
+  EXPECT_EQ(xutil::format_speedup(2.8), "2.8X");
+  EXPECT_EQ(xutil::format_speedup(482.0), "482X");
+  EXPECT_EQ(xutil::format_bandwidth_bits(6.76e12), "6.76 Tb/s");
+  EXPECT_EQ(xutil::format_area_mm2(3046.0), "3,046 mm^2");
+  EXPECT_EQ(xutil::format_power_watts(7000.0), "7.0 KW");
+  EXPECT_EQ(xutil::format_power_watts(168.0), "168 W");
+  EXPECT_EQ(xutil::format_dims3(512, 512, 512), "512^3");
+  EXPECT_EQ(xutil::format_dims3(4096, 4096, 2048), "4096x4096x2048");
+}
+
+TEST(Units, Log2AndPow2) {
+  EXPECT_EQ(xutil::log2_exact(1), 0u);
+  EXPECT_EQ(xutil::log2_exact(1ull << 27), 27u);
+  EXPECT_THROW((void)xutil::log2_exact(12), xutil::Error);
+  EXPECT_TRUE(xutil::is_pow2(64));
+  EXPECT_FALSE(xutil::is_pow2(0));
+  EXPECT_FALSE(xutil::is_pow2(48));
+}
+
+TEST(Table, RendersAlignedBox) {
+  xutil::Table t("TABLE T: TEST");
+  t.set_header({"Configuration", "4k", "8k"});
+  t.add_row({"GFLOPS", "239", "500"});
+  t.add_note("values from Table IV");
+  const std::string s = t.render();
+  EXPECT_NE(s.find("TABLE T: TEST"), std::string::npos);
+  EXPECT_NE(s.find("| Configuration |"), std::string::npos);
+  EXPECT_NE(s.find("| GFLOPS        | 239 | 500 |"), std::string::npos);
+  EXPECT_NE(s.find("note: values from Table IV"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  xutil::Table t("x");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsPadLongRowsThrow) {
+  xutil::Table t("x");
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows()[0].size(), 3u);
+  EXPECT_THROW(t.add_row({"1", "2", "3", "4"}), xutil::Error);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(xutil::csv_escape("plain"), "plain");
+  EXPECT_EQ(xutil::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(xutil::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/xutil_csv_test.csv";
+  {
+    xutil::CsvWriter w(path);
+    w.write_row({"h1", "h2"});
+    w.write_row({"1", "two,three"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "h1,h2");
+  EXPECT_EQ(line2, "1,\"two,three\"");
+  std::remove(path.c_str());
+}
+
+}  // namespace

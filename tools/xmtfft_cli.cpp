@@ -1,0 +1,209 @@
+// xmtfft command-line driver.
+//
+//   xmtfft_cli configs
+//       List the Table II configurations and derived rates.
+//   xmtfft_cli simulate --config 64k --size 512^3 [--radix 8]
+//       Analytic performance model: per-phase breakdown + totals.
+//   xmtfft_cli roofline --config 128k_x4 --size 512^3
+//       Fig.-3-style marker report for one configuration.
+//   xmtfft_cli machine --clusters 16 --size 64x64 [--bf 4] [--radix 8]
+//       Cycle-level machine run on a custom scaled configuration.
+//   xmtfft_cli fft --size 1024 [--inverse]
+//       Host FFT of a synthetic signal; prints a checksum and timing.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "xfft/plan_cache.hpp"
+#include "xroof/roofline.hpp"
+#include "xsim/fft_on_machine.hpp"
+#include "xsim/perf_model.hpp"
+#include "xutil/check.hpp"
+#include "xutil/flags.hpp"
+#include "xutil/rng.hpp"
+#include "xutil/string_util.hpp"
+#include "xutil/table.hpp"
+#include "xutil/units.hpp"
+
+namespace {
+
+int usage() {
+  std::puts(
+      "usage: xmtfft_cli <configs|simulate|roofline|machine|fft> [flags]\n"
+      "  configs\n"
+      "  simulate --config {4k,8k,64k,128k_x2,128k_x4} --size 512^3"
+      " [--radix 8]\n"
+      "  roofline --config <name> --size <dims>\n"
+      "  machine  --clusters N [--mot L] [--bf L] --size <dims>\n"
+      "  fft      --size N [--inverse]");
+  return 2;
+}
+
+xsim::MachineConfig config_by_name(const std::string& name) {
+  for (auto& c : xsim::paper_presets()) {
+    std::string key = c.name;
+    for (auto& ch : key) {
+      if (ch == ' ') ch = '_';
+    }
+    if (key == name || c.name == name) return c;
+  }
+  throw xutil::Error("unknown configuration '" + name +
+                     "' (try: 4k, 8k, 64k, 128k_x2, 128k_x4)");
+}
+
+int cmd_configs() {
+  xutil::Table t("XMT CONFIGURATIONS");
+  t.set_header({"Name", "TCUs", "Clusters", "NoC", "DRAM channels",
+                "Peak", "Off-chip BW"});
+  for (const auto& c : xsim::paper_presets()) {
+    t.add_row({c.name, xutil::format_group(static_cast<long long>(c.tcus)),
+               std::to_string(c.clusters),
+               std::to_string(c.mot_levels) + "+" +
+                   std::to_string(c.butterfly_levels),
+               std::to_string(c.dram_channels()),
+               xutil::format_gflops(c.peak_flops_per_sec() / 1e9) + " GF",
+               xutil::format_bandwidth_bits(c.dram_bw_bytes_per_sec() * 8)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_simulate(const xutil::Flags& flags) {
+  const auto cfg = config_by_name(flags.get("config", "64k"));
+  std::size_t nx = 512;
+  std::size_t ny = 512;
+  std::size_t nz = 512;
+  xutil::parse_dims(flags.get("size", "512^3"), &nx, &ny, &nz);
+  const auto radix = static_cast<unsigned>(flags.get_int("radix", 8));
+  const xfft::Dims3 dims{nx, ny, nz};
+  const auto r = xsim::FftPerfModel(cfg).analyze_fft(dims, radix);
+
+  xutil::Table t("FFT ON " + cfg.name + ", " +
+                 xutil::format_dims3(nx, ny, nz));
+  t.set_header({"Phase", "ms", "bound", "GFLOPS (actual)"});
+  for (const auto& ph : r.phases) {
+    t.add_row({ph.name, xutil::format_fixed(ph.seconds * 1e3, 3),
+               xsim::bound_name(ph.bound),
+               xutil::format_gflops(ph.actual_gflops)});
+  }
+  t.add_row({"TOTAL", xutil::format_fixed(r.total_seconds * 1e3, 3), "",
+             xutil::format_gflops(r.standard_gflops) + " (5NlogN)"});
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_roofline(const xutil::Flags& flags) {
+  const auto cfg = config_by_name(flags.get("config", "64k"));
+  std::size_t nx = 512;
+  std::size_t ny = 512;
+  std::size_t nz = 512;
+  xutil::parse_dims(flags.get("size", "512^3"), &nx, &ny, &nz);
+  const auto report =
+      xsim::FftPerfModel(cfg).analyze_fft(xfft::Dims3{nx, ny, nz});
+  const auto series = xroof::fft_series(cfg, report);
+  std::printf("%s: peak %.0f GFLOPS, %.0f GB/s, ridge %.2f F/B\n",
+              cfg.name.c_str(), series.platform.peak_gflops,
+              series.platform.peak_bw_gbytes,
+              series.platform.ridge_intensity());
+  for (const auto& m : series.markers) {
+    std::printf("  %-12s I=%.3f  %10.0f GFLOPS  (%.1f%% of roofline)\n",
+                m.label.c_str(), m.intensity, m.gflops,
+                100.0 * m.fraction_of_roofline);
+  }
+  return 0;
+}
+
+int cmd_machine(const xutil::Flags& flags) {
+  xsim::MachineConfig c;
+  const auto clusters = static_cast<std::size_t>(flags.get_int("clusters", 8));
+  c.name = "custom-" + std::to_string(clusters);
+  c.clusters = clusters;
+  c.tcus = clusters * 32;
+  c.memory_modules =
+      static_cast<std::size_t>(flags.get_int("modules",
+                                             static_cast<std::int64_t>(clusters)));
+  c.butterfly_levels = static_cast<unsigned>(flags.get_int("bf", 0));
+  const unsigned full = xutil::log2_exact(c.clusters) +
+                        xutil::log2_exact(c.memory_modules);
+  c.mot_levels = static_cast<unsigned>(
+      flags.get_int("mot", c.butterfly_levels == 0
+                               ? full
+                               : full - c.butterfly_levels - 2));
+  c.mms_per_dram_ctrl = static_cast<unsigned>(flags.get_int("mms-per-ctrl", 2));
+  c.fpus_per_cluster = static_cast<unsigned>(flags.get_int("fpus", 1));
+  c.cache_bytes_per_mm =
+      static_cast<std::uint64_t>(flags.get_int("cache-kb", 32)) * 1024;
+  c.validate();
+
+  std::size_t nx = 64;
+  std::size_t ny = 64;
+  std::size_t nz = 1;
+  xutil::parse_dims(flags.get("size", "64x64"), &nx, &ny, &nz);
+  const auto radix = static_cast<unsigned>(flags.get_int("radix", 8));
+
+  xsim::Machine machine(c);
+  const auto r = xsim::run_fft_on_machine(machine, xfft::Dims3{nx, ny, nz},
+                                          radix);
+  xutil::Table t("CYCLE-LEVEL RUN ON " + c.name + " (" +
+                 xutil::format_dims3(nx, ny, nz) + ")");
+  t.set_header({"Phase", "cycles", "hit rate", "DRAM util", "FPU util"});
+  for (const auto& ph : r.phases) {
+    t.add_row({ph.name, std::to_string(ph.result.cycles),
+               xutil::format_fixed(ph.result.cache_hit_rate(), 2),
+               xutil::format_fixed(ph.result.dram_utilization, 2),
+               xutil::format_fixed(ph.result.fpu_utilization, 2)});
+  }
+  t.add_row({"TOTAL", std::to_string(r.total_cycles), "", "", ""});
+  t.add_note("at 3.3 GHz: " +
+             xutil::format_fixed(
+                 r.standard_gflops(xfft::Dims3{nx, ny, nz}, 3.3e9), 2) +
+             " GFLOPS (5NlogN)");
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_fft(const xutil::Flags& flags) {
+  std::size_t nx = 1024;
+  std::size_t ny = 1;
+  std::size_t nz = 1;
+  xutil::parse_dims(flags.get("size", "1024"), &nx, &ny, &nz);
+  const xfft::Dims3 dims{nx, ny, nz};
+  const auto dir = flags.has("inverse") ? xfft::Direction::kInverse
+                                        : xfft::Direction::kForward;
+  std::vector<xfft::Cf> data(dims.total());
+  xutil::Pcg32 rng(1);
+  for (auto& v : data) {
+    v = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  xfft::fft_cached_nd(std::span<xfft::Cf>(data), dims, dir);
+  const auto t1 = std::chrono::steady_clock::now();
+  double checksum = 0.0;
+  for (const auto& v : data) checksum += std::abs(v);
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("%s FFT of %s: %.3f ms (%.2f GFLOPS 5NlogN), checksum %.6g\n",
+              dir == xfft::Direction::kForward ? "forward" : "inverse",
+              xutil::format_dims3(nx, ny, nz).c_str(), secs * 1e3,
+              xfft::standard_fft_flops(dims.total()) / secs / 1e9, checksum);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const xutil::Flags flags(argc - 2, argv + 2);
+  try {
+    if (cmd == "configs") return cmd_configs();
+    if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "roofline") return cmd_roofline(flags);
+    if (cmd == "machine") return cmd_machine(flags);
+    if (cmd == "fft") return cmd_fft(flags);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage();
+  } catch (const xutil::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
