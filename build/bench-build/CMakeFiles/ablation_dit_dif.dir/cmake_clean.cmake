@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dit_dif"
+  "../bench/ablation_dit_dif.pdb"
+  "CMakeFiles/ablation_dit_dif.dir/ablation_dit_dif.cpp.o"
+  "CMakeFiles/ablation_dit_dif.dir/ablation_dit_dif.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dit_dif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

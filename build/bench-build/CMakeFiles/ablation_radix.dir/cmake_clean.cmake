@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_radix"
+  "../bench/ablation_radix.pdb"
+  "CMakeFiles/ablation_radix.dir/ablation_radix.cpp.o"
+  "CMakeFiles/ablation_radix.dir/ablation_radix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

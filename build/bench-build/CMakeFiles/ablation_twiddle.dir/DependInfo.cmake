@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_twiddle.cpp" "bench-build/CMakeFiles/ablation_twiddle.dir/ablation_twiddle.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_twiddle.dir/ablation_twiddle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfft/CMakeFiles/xfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/xutil/CMakeFiles/xutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/xphys/CMakeFiles/xphys.dir/DependInfo.cmake"
+  "/root/repo/build/src/xnoc/CMakeFiles/xnoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

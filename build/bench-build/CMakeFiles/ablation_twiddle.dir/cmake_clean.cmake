@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_twiddle"
+  "../bench/ablation_twiddle.pdb"
+  "CMakeFiles/ablation_twiddle.dir/ablation_twiddle.cpp.o"
+  "CMakeFiles/ablation_twiddle.dir/ablation_twiddle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twiddle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

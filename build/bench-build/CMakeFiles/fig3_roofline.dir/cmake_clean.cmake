@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_roofline"
+  "../bench/fig3_roofline.pdb"
+  "CMakeFiles/fig3_roofline.dir/fig3_roofline.cpp.o"
+  "CMakeFiles/fig3_roofline.dir/fig3_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_fixed_point"
+  "../bench/micro_fixed_point.pdb"
+  "CMakeFiles/micro_fixed_point.dir/micro_fixed_point.cpp.o"
+  "CMakeFiles/micro_fixed_point.dir/micro_fixed_point.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

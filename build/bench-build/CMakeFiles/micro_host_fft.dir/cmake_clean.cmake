@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_host_fft"
+  "../bench/micro_host_fft.pdb"
+  "CMakeFiles/micro_host_fft.dir/micro_host_fft.cpp.o"
+  "CMakeFiles/micro_host_fft.dir/micro_host_fft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_host_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

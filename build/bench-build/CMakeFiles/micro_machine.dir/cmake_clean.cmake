@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_machine"
+  "../bench/micro_machine.pdb"
+  "CMakeFiles/micro_machine.dir/micro_machine.cpp.o"
+  "CMakeFiles/micro_machine.dir/micro_machine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/prior_work"
+  "../bench/prior_work.pdb"
+  "CMakeFiles/prior_work.dir/prior_work.cpp.o"
+  "CMakeFiles/prior_work.dir/prior_work.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prior_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling"
+  "../bench/scaling.pdb"
+  "CMakeFiles/scaling.dir/scaling.cpp.o"
+  "CMakeFiles/scaling.dir/scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

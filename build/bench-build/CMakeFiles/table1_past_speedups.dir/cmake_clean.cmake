@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_past_speedups"
+  "../bench/table1_past_speedups.pdb"
+  "CMakeFiles/table1_past_speedups.dir/table1_past_speedups.cpp.o"
+  "CMakeFiles/table1_past_speedups.dir/table1_past_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_past_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_physical"
+  "../bench/table3_physical.pdb"
+  "CMakeFiles/table3_physical.dir/table3_physical.cpp.o"
+  "CMakeFiles/table3_physical.dir/table3_physical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_fft_performance"
+  "../bench/table4_fft_performance.pdb"
+  "CMakeFiles/table4_fft_performance.dir/table4_fft_performance.cpp.o"
+  "CMakeFiles/table4_fft_performance.dir/table4_fft_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fft_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

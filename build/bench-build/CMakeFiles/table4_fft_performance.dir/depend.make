@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_fft_performance.
+# This may be replaced when dependencies are built.

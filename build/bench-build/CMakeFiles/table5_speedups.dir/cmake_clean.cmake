@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_speedups"
+  "../bench/table5_speedups.pdb"
+  "CMakeFiles/table5_speedups.dir/table5_speedups.cpp.o"
+  "CMakeFiles/table5_speedups.dir/table5_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

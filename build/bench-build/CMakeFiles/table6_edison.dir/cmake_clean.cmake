@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_edison"
+  "../bench/table6_edison.pdb"
+  "CMakeFiles/table6_edison.dir/table6_edison.cpp.o"
+  "CMakeFiles/table6_edison.dir/table6_edison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_edison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

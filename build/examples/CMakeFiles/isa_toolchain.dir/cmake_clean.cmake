@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_toolchain.dir/isa_toolchain.cpp.o"
+  "CMakeFiles/isa_toolchain.dir/isa_toolchain.cpp.o.d"
+  "isa_toolchain"
+  "isa_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

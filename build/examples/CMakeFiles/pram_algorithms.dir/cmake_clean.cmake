@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pram_algorithms.dir/pram_algorithms.cpp.o"
+  "CMakeFiles/pram_algorithms.dir/pram_algorithms.cpp.o.d"
+  "pram_algorithms"
+  "pram_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pram_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

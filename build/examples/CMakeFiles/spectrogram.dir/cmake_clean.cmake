@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrogram.dir/spectrogram.cpp.o"
+  "CMakeFiles/spectrogram.dir/spectrogram.cpp.o.d"
+  "spectrogram"
+  "spectrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmt_simulation.dir/xmt_simulation.cpp.o"
+  "CMakeFiles/xmt_simulation.dir/xmt_simulation.cpp.o.d"
+  "xmt_simulation"
+  "xmt_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmt_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmtc_programming.dir/xmtc_programming.cpp.o"
+  "CMakeFiles/xmtc_programming.dir/xmtc_programming.cpp.o.d"
+  "xmtc_programming"
+  "xmtc_programming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmtc_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

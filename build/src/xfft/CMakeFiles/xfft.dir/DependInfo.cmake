@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xfft/bluestein.cpp" "src/xfft/CMakeFiles/xfft.dir/bluestein.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/bluestein.cpp.o.d"
+  "/root/repo/src/xfft/convolution.cpp" "src/xfft/CMakeFiles/xfft.dir/convolution.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/convolution.cpp.o.d"
+  "/root/repo/src/xfft/dct.cpp" "src/xfft/CMakeFiles/xfft.dir/dct.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/dct.cpp.o.d"
+  "/root/repo/src/xfft/dft_reference.cpp" "src/xfft/CMakeFiles/xfft.dir/dft_reference.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/dft_reference.cpp.o.d"
+  "/root/repo/src/xfft/engines.cpp" "src/xfft/CMakeFiles/xfft.dir/engines.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/engines.cpp.o.d"
+  "/root/repo/src/xfft/fftnd.cpp" "src/xfft/CMakeFiles/xfft.dir/fftnd.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/fftnd.cpp.o.d"
+  "/root/repo/src/xfft/fixed_point.cpp" "src/xfft/CMakeFiles/xfft.dir/fixed_point.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/xfft/permute.cpp" "src/xfft/CMakeFiles/xfft.dir/permute.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/permute.cpp.o.d"
+  "/root/repo/src/xfft/plan1d.cpp" "src/xfft/CMakeFiles/xfft.dir/plan1d.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/plan1d.cpp.o.d"
+  "/root/repo/src/xfft/plan_cache.cpp" "src/xfft/CMakeFiles/xfft.dir/plan_cache.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/plan_cache.cpp.o.d"
+  "/root/repo/src/xfft/real.cpp" "src/xfft/CMakeFiles/xfft.dir/real.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/real.cpp.o.d"
+  "/root/repo/src/xfft/real_nd.cpp" "src/xfft/CMakeFiles/xfft.dir/real_nd.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/real_nd.cpp.o.d"
+  "/root/repo/src/xfft/signal.cpp" "src/xfft/CMakeFiles/xfft.dir/signal.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/signal.cpp.o.d"
+  "/root/repo/src/xfft/twiddle.cpp" "src/xfft/CMakeFiles/xfft.dir/twiddle.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/twiddle.cpp.o.d"
+  "/root/repo/src/xfft/xmt_kernel.cpp" "src/xfft/CMakeFiles/xfft.dir/xmt_kernel.cpp.o" "gcc" "src/xfft/CMakeFiles/xfft.dir/xmt_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xutil/CMakeFiles/xutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfft.dir/bluestein.cpp.o"
+  "CMakeFiles/xfft.dir/bluestein.cpp.o.d"
+  "CMakeFiles/xfft.dir/convolution.cpp.o"
+  "CMakeFiles/xfft.dir/convolution.cpp.o.d"
+  "CMakeFiles/xfft.dir/dct.cpp.o"
+  "CMakeFiles/xfft.dir/dct.cpp.o.d"
+  "CMakeFiles/xfft.dir/dft_reference.cpp.o"
+  "CMakeFiles/xfft.dir/dft_reference.cpp.o.d"
+  "CMakeFiles/xfft.dir/engines.cpp.o"
+  "CMakeFiles/xfft.dir/engines.cpp.o.d"
+  "CMakeFiles/xfft.dir/fftnd.cpp.o"
+  "CMakeFiles/xfft.dir/fftnd.cpp.o.d"
+  "CMakeFiles/xfft.dir/fixed_point.cpp.o"
+  "CMakeFiles/xfft.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/xfft.dir/permute.cpp.o"
+  "CMakeFiles/xfft.dir/permute.cpp.o.d"
+  "CMakeFiles/xfft.dir/plan1d.cpp.o"
+  "CMakeFiles/xfft.dir/plan1d.cpp.o.d"
+  "CMakeFiles/xfft.dir/plan_cache.cpp.o"
+  "CMakeFiles/xfft.dir/plan_cache.cpp.o.d"
+  "CMakeFiles/xfft.dir/real.cpp.o"
+  "CMakeFiles/xfft.dir/real.cpp.o.d"
+  "CMakeFiles/xfft.dir/real_nd.cpp.o"
+  "CMakeFiles/xfft.dir/real_nd.cpp.o.d"
+  "CMakeFiles/xfft.dir/signal.cpp.o"
+  "CMakeFiles/xfft.dir/signal.cpp.o.d"
+  "CMakeFiles/xfft.dir/twiddle.cpp.o"
+  "CMakeFiles/xfft.dir/twiddle.cpp.o.d"
+  "CMakeFiles/xfft.dir/xmt_kernel.cpp.o"
+  "CMakeFiles/xfft.dir/xmt_kernel.cpp.o.d"
+  "libxfft.a"
+  "libxfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

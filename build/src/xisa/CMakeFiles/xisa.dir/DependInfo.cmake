@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xisa/assembler.cpp" "src/xisa/CMakeFiles/xisa.dir/assembler.cpp.o" "gcc" "src/xisa/CMakeFiles/xisa.dir/assembler.cpp.o.d"
+  "/root/repo/src/xisa/interpreter.cpp" "src/xisa/CMakeFiles/xisa.dir/interpreter.cpp.o" "gcc" "src/xisa/CMakeFiles/xisa.dir/interpreter.cpp.o.d"
+  "/root/repo/src/xisa/trace_capture.cpp" "src/xisa/CMakeFiles/xisa.dir/trace_capture.cpp.o" "gcc" "src/xisa/CMakeFiles/xisa.dir/trace_capture.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xutil/CMakeFiles/xutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfft/CMakeFiles/xfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/xphys/CMakeFiles/xphys.dir/DependInfo.cmake"
+  "/root/repo/build/src/xnoc/CMakeFiles/xnoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xisa.dir/assembler.cpp.o"
+  "CMakeFiles/xisa.dir/assembler.cpp.o.d"
+  "CMakeFiles/xisa.dir/interpreter.cpp.o"
+  "CMakeFiles/xisa.dir/interpreter.cpp.o.d"
+  "CMakeFiles/xisa.dir/trace_capture.cpp.o"
+  "CMakeFiles/xisa.dir/trace_capture.cpp.o.d"
+  "libxisa.a"
+  "libxisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

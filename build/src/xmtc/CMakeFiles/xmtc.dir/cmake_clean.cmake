@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmtc.dir/fft_xmtc.cpp.o"
+  "CMakeFiles/xmtc.dir/fft_xmtc.cpp.o.d"
+  "CMakeFiles/xmtc.dir/runtime.cpp.o"
+  "CMakeFiles/xmtc.dir/runtime.cpp.o.d"
+  "libxmtc.a"
+  "libxmtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

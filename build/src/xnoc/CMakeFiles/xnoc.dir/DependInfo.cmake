@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xnoc/contention.cpp" "src/xnoc/CMakeFiles/xnoc.dir/contention.cpp.o" "gcc" "src/xnoc/CMakeFiles/xnoc.dir/contention.cpp.o.d"
+  "/root/repo/src/xnoc/latency.cpp" "src/xnoc/CMakeFiles/xnoc.dir/latency.cpp.o" "gcc" "src/xnoc/CMakeFiles/xnoc.dir/latency.cpp.o.d"
+  "/root/repo/src/xnoc/queue_sim.cpp" "src/xnoc/CMakeFiles/xnoc.dir/queue_sim.cpp.o" "gcc" "src/xnoc/CMakeFiles/xnoc.dir/queue_sim.cpp.o.d"
+  "/root/repo/src/xnoc/topology.cpp" "src/xnoc/CMakeFiles/xnoc.dir/topology.cpp.o" "gcc" "src/xnoc/CMakeFiles/xnoc.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xutil/CMakeFiles/xutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

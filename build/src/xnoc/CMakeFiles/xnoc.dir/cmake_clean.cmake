@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnoc.dir/contention.cpp.o"
+  "CMakeFiles/xnoc.dir/contention.cpp.o.d"
+  "CMakeFiles/xnoc.dir/latency.cpp.o"
+  "CMakeFiles/xnoc.dir/latency.cpp.o.d"
+  "CMakeFiles/xnoc.dir/queue_sim.cpp.o"
+  "CMakeFiles/xnoc.dir/queue_sim.cpp.o.d"
+  "CMakeFiles/xnoc.dir/topology.cpp.o"
+  "CMakeFiles/xnoc.dir/topology.cpp.o.d"
+  "libxnoc.a"
+  "libxnoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xnoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xphys/area.cpp" "src/xphys/CMakeFiles/xphys.dir/area.cpp.o" "gcc" "src/xphys/CMakeFiles/xphys.dir/area.cpp.o.d"
+  "/root/repo/src/xphys/cooling.cpp" "src/xphys/CMakeFiles/xphys.dir/cooling.cpp.o" "gcc" "src/xphys/CMakeFiles/xphys.dir/cooling.cpp.o.d"
+  "/root/repo/src/xphys/dram.cpp" "src/xphys/CMakeFiles/xphys.dir/dram.cpp.o" "gcc" "src/xphys/CMakeFiles/xphys.dir/dram.cpp.o.d"
+  "/root/repo/src/xphys/energy.cpp" "src/xphys/CMakeFiles/xphys.dir/energy.cpp.o" "gcc" "src/xphys/CMakeFiles/xphys.dir/energy.cpp.o.d"
+  "/root/repo/src/xphys/photonics.cpp" "src/xphys/CMakeFiles/xphys.dir/photonics.cpp.o" "gcc" "src/xphys/CMakeFiles/xphys.dir/photonics.cpp.o.d"
+  "/root/repo/src/xphys/pins.cpp" "src/xphys/CMakeFiles/xphys.dir/pins.cpp.o" "gcc" "src/xphys/CMakeFiles/xphys.dir/pins.cpp.o.d"
+  "/root/repo/src/xphys/tech.cpp" "src/xphys/CMakeFiles/xphys.dir/tech.cpp.o" "gcc" "src/xphys/CMakeFiles/xphys.dir/tech.cpp.o.d"
+  "/root/repo/src/xphys/tsv.cpp" "src/xphys/CMakeFiles/xphys.dir/tsv.cpp.o" "gcc" "src/xphys/CMakeFiles/xphys.dir/tsv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xutil/CMakeFiles/xutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/xnoc/CMakeFiles/xnoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xphys.dir/area.cpp.o"
+  "CMakeFiles/xphys.dir/area.cpp.o.d"
+  "CMakeFiles/xphys.dir/cooling.cpp.o"
+  "CMakeFiles/xphys.dir/cooling.cpp.o.d"
+  "CMakeFiles/xphys.dir/dram.cpp.o"
+  "CMakeFiles/xphys.dir/dram.cpp.o.d"
+  "CMakeFiles/xphys.dir/energy.cpp.o"
+  "CMakeFiles/xphys.dir/energy.cpp.o.d"
+  "CMakeFiles/xphys.dir/photonics.cpp.o"
+  "CMakeFiles/xphys.dir/photonics.cpp.o.d"
+  "CMakeFiles/xphys.dir/pins.cpp.o"
+  "CMakeFiles/xphys.dir/pins.cpp.o.d"
+  "CMakeFiles/xphys.dir/tech.cpp.o"
+  "CMakeFiles/xphys.dir/tech.cpp.o.d"
+  "CMakeFiles/xphys.dir/tsv.cpp.o"
+  "CMakeFiles/xphys.dir/tsv.cpp.o.d"
+  "libxphys.a"
+  "libxphys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xphys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

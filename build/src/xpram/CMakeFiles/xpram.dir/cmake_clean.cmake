@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpram.dir/algorithms.cpp.o"
+  "CMakeFiles/xpram.dir/algorithms.cpp.o.d"
+  "libxpram.a"
+  "libxpram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xref.dir/edison.cpp.o"
+  "CMakeFiles/xref.dir/edison.cpp.o.d"
+  "CMakeFiles/xref.dir/gpu.cpp.o"
+  "CMakeFiles/xref.dir/gpu.cpp.o.d"
+  "CMakeFiles/xref.dir/past_speedups.cpp.o"
+  "CMakeFiles/xref.dir/past_speedups.cpp.o.d"
+  "CMakeFiles/xref.dir/xeon.cpp.o"
+  "CMakeFiles/xref.dir/xeon.cpp.o.d"
+  "libxref.a"
+  "libxref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

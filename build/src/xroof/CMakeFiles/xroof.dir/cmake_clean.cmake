@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xroof.dir/roofline.cpp.o"
+  "CMakeFiles/xroof.dir/roofline.cpp.o.d"
+  "libxroof.a"
+  "libxroof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xroof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

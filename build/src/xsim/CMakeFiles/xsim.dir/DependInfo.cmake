@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsim/config.cpp" "src/xsim/CMakeFiles/xsim.dir/config.cpp.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/config.cpp.o.d"
+  "/root/repo/src/xsim/fft_on_machine.cpp" "src/xsim/CMakeFiles/xsim.dir/fft_on_machine.cpp.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/fft_on_machine.cpp.o.d"
+  "/root/repo/src/xsim/fft_traffic.cpp" "src/xsim/CMakeFiles/xsim.dir/fft_traffic.cpp.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/fft_traffic.cpp.o.d"
+  "/root/repo/src/xsim/machine.cpp" "src/xsim/CMakeFiles/xsim.dir/machine.cpp.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/machine.cpp.o.d"
+  "/root/repo/src/xsim/perf_model.cpp" "src/xsim/CMakeFiles/xsim.dir/perf_model.cpp.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/xsim/scaled_config.cpp" "src/xsim/CMakeFiles/xsim.dir/scaled_config.cpp.o" "gcc" "src/xsim/CMakeFiles/xsim.dir/scaled_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xutil/CMakeFiles/xutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfft/CMakeFiles/xfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/xnoc/CMakeFiles/xnoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xphys/CMakeFiles/xphys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsim.dir/config.cpp.o"
+  "CMakeFiles/xsim.dir/config.cpp.o.d"
+  "CMakeFiles/xsim.dir/fft_on_machine.cpp.o"
+  "CMakeFiles/xsim.dir/fft_on_machine.cpp.o.d"
+  "CMakeFiles/xsim.dir/fft_traffic.cpp.o"
+  "CMakeFiles/xsim.dir/fft_traffic.cpp.o.d"
+  "CMakeFiles/xsim.dir/machine.cpp.o"
+  "CMakeFiles/xsim.dir/machine.cpp.o.d"
+  "CMakeFiles/xsim.dir/perf_model.cpp.o"
+  "CMakeFiles/xsim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/xsim.dir/scaled_config.cpp.o"
+  "CMakeFiles/xsim.dir/scaled_config.cpp.o.d"
+  "libxsim.a"
+  "libxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xutil/csv.cpp" "src/xutil/CMakeFiles/xutil.dir/csv.cpp.o" "gcc" "src/xutil/CMakeFiles/xutil.dir/csv.cpp.o.d"
+  "/root/repo/src/xutil/flags.cpp" "src/xutil/CMakeFiles/xutil.dir/flags.cpp.o" "gcc" "src/xutil/CMakeFiles/xutil.dir/flags.cpp.o.d"
+  "/root/repo/src/xutil/rng.cpp" "src/xutil/CMakeFiles/xutil.dir/rng.cpp.o" "gcc" "src/xutil/CMakeFiles/xutil.dir/rng.cpp.o.d"
+  "/root/repo/src/xutil/stats.cpp" "src/xutil/CMakeFiles/xutil.dir/stats.cpp.o" "gcc" "src/xutil/CMakeFiles/xutil.dir/stats.cpp.o.d"
+  "/root/repo/src/xutil/string_util.cpp" "src/xutil/CMakeFiles/xutil.dir/string_util.cpp.o" "gcc" "src/xutil/CMakeFiles/xutil.dir/string_util.cpp.o.d"
+  "/root/repo/src/xutil/table.cpp" "src/xutil/CMakeFiles/xutil.dir/table.cpp.o" "gcc" "src/xutil/CMakeFiles/xutil.dir/table.cpp.o.d"
+  "/root/repo/src/xutil/units.cpp" "src/xutil/CMakeFiles/xutil.dir/units.cpp.o" "gcc" "src/xutil/CMakeFiles/xutil.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

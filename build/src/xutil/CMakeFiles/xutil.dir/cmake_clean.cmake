@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xutil.dir/csv.cpp.o"
+  "CMakeFiles/xutil.dir/csv.cpp.o.d"
+  "CMakeFiles/xutil.dir/flags.cpp.o"
+  "CMakeFiles/xutil.dir/flags.cpp.o.d"
+  "CMakeFiles/xutil.dir/rng.cpp.o"
+  "CMakeFiles/xutil.dir/rng.cpp.o.d"
+  "CMakeFiles/xutil.dir/stats.cpp.o"
+  "CMakeFiles/xutil.dir/stats.cpp.o.d"
+  "CMakeFiles/xutil.dir/string_util.cpp.o"
+  "CMakeFiles/xutil.dir/string_util.cpp.o.d"
+  "CMakeFiles/xutil.dir/table.cpp.o"
+  "CMakeFiles/xutil.dir/table.cpp.o.d"
+  "CMakeFiles/xutil.dir/units.cpp.o"
+  "CMakeFiles/xutil.dir/units.cpp.o.d"
+  "libxutil.a"
+  "libxutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fft/test_bluestein.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_bluestein.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_bluestein.cpp.o.d"
+  "/root/repo/tests/fft/test_dct.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_dct.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_dct.cpp.o.d"
+  "/root/repo/tests/fft/test_engines.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_engines.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_engines.cpp.o.d"
+  "/root/repo/tests/fft/test_fftnd.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_fftnd.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_fftnd.cpp.o.d"
+  "/root/repo/tests/fft/test_fixed_point.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/fft/test_plan1d.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_plan1d.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_plan1d.cpp.o.d"
+  "/root/repo/tests/fft/test_plan_cache_fuzz.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_plan_cache_fuzz.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_plan_cache_fuzz.cpp.o.d"
+  "/root/repo/tests/fft/test_real_conv_signal.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_real_conv_signal.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_real_conv_signal.cpp.o.d"
+  "/root/repo/tests/fft/test_real_nd.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_real_nd.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_real_nd.cpp.o.d"
+  "/root/repo/tests/fft/test_twiddle_permute.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_twiddle_permute.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_twiddle_permute.cpp.o.d"
+  "/root/repo/tests/fft/test_xmt_kernel.cpp" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_xmt_kernel.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/fft/test_xmt_kernel.cpp.o.d"
+  "/root/repo/tests/isa/test_trace_capture.cpp" "tests/CMakeFiles/xmtfft_tests.dir/isa/test_trace_capture.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/isa/test_trace_capture.cpp.o.d"
+  "/root/repo/tests/isa/test_xisa.cpp" "tests/CMakeFiles/xmtfft_tests.dir/isa/test_xisa.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/isa/test_xisa.cpp.o.d"
+  "/root/repo/tests/noc/test_latency_energy.cpp" "tests/CMakeFiles/xmtfft_tests.dir/noc/test_latency_energy.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/noc/test_latency_energy.cpp.o.d"
+  "/root/repo/tests/noc/test_noc.cpp" "tests/CMakeFiles/xmtfft_tests.dir/noc/test_noc.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/noc/test_noc.cpp.o.d"
+  "/root/repo/tests/phys/test_phys.cpp" "tests/CMakeFiles/xmtfft_tests.dir/phys/test_phys.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/phys/test_phys.cpp.o.d"
+  "/root/repo/tests/pram/test_pram.cpp" "tests/CMakeFiles/xmtfft_tests.dir/pram/test_pram.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/pram/test_pram.cpp.o.d"
+  "/root/repo/tests/ref/test_ref.cpp" "tests/CMakeFiles/xmtfft_tests.dir/ref/test_ref.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/ref/test_ref.cpp.o.d"
+  "/root/repo/tests/roof/test_roofline.cpp" "tests/CMakeFiles/xmtfft_tests.dir/roof/test_roofline.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/roof/test_roofline.cpp.o.d"
+  "/root/repo/tests/sim/test_config.cpp" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_config.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_config.cpp.o.d"
+  "/root/repo/tests/sim/test_fft_on_machine.cpp" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_fft_on_machine.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_fft_on_machine.cpp.o.d"
+  "/root/repo/tests/sim/test_machine.cpp" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_machine.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_machine.cpp.o.d"
+  "/root/repo/tests/sim/test_perf_model.cpp" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_perf_model.cpp.o.d"
+  "/root/repo/tests/sim/test_scaled_config.cpp" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_scaled_config.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/sim/test_scaled_config.cpp.o.d"
+  "/root/repo/tests/util/test_flags.cpp" "tests/CMakeFiles/xmtfft_tests.dir/util/test_flags.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/util/test_flags.cpp.o.d"
+  "/root/repo/tests/util/test_xutil.cpp" "tests/CMakeFiles/xmtfft_tests.dir/util/test_xutil.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/util/test_xutil.cpp.o.d"
+  "/root/repo/tests/xmtc/test_xmtc.cpp" "tests/CMakeFiles/xmtfft_tests.dir/xmtc/test_xmtc.cpp.o" "gcc" "tests/CMakeFiles/xmtfft_tests.dir/xmtc/test_xmtc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xfft/CMakeFiles/xfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/xutil/CMakeFiles/xutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/xnoc/CMakeFiles/xnoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xphys/CMakeFiles/xphys.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/xsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xroof/CMakeFiles/xroof.dir/DependInfo.cmake"
+  "/root/repo/build/src/xref/CMakeFiles/xref.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmtc/CMakeFiles/xmtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xisa/CMakeFiles/xisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpram/CMakeFiles/xpram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

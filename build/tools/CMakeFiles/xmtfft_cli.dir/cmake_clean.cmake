@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmtfft_cli.dir/xmtfft_cli.cpp.o"
+  "CMakeFiles/xmtfft_cli.dir/xmtfft_cli.cpp.o.d"
+  "xmtfft_cli"
+  "xmtfft_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmtfft_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
