@@ -1,0 +1,275 @@
+#include "xfault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "xutil/check.hpp"
+#include "xutil/rng.hpp"
+#include "xutil/string_util.hpp"
+
+namespace xfault {
+
+namespace {
+
+double parse_number(std::string_view text, const std::string& directive) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(text), &used);
+    XU_CHECK_MSG(used == text.size() && v >= 0.0 && std::isfinite(v),
+                 "bad number '" << std::string(text) << "' in fault directive '"
+                                << directive << "'");
+    return v;
+  } catch (const xutil::Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw xutil::Error("bad number '" + std::string(text) +
+                       "' in fault directive '" + directive + "'");
+  }
+}
+
+/// Resolves a selector (fraction below 1, absolute count otherwise)
+/// against a population of `n`.
+std::size_t resolve_count(double sel, std::size_t n) {
+  if (sel <= 0.0 || n == 0) return 0;
+  if (sel < 1.0) {
+    return std::min<std::size_t>(
+        n, static_cast<std::size_t>(std::llround(sel * static_cast<double>(n))));
+  }
+  return std::min<std::size_t>(n, static_cast<std::size_t>(std::llround(sel)));
+}
+
+/// First `k` victims of a seeded permutation of [0, n). Using a permutation
+/// prefix makes victim sets nested across increasing k for a fixed seed,
+/// which keeps degradation sweeps monotone.
+std::vector<std::size_t> pick_victims(std::size_t n, std::size_t k,
+                                      std::uint64_t seed,
+                                      std::uint64_t stream) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  xutil::Pcg32 rng(seed, stream);
+  // Partial Fisher-Yates: only the first k slots need to be settled.
+  for (std::size_t i = 0; i < k && i + 1 < n; ++i) {
+    const std::size_t j =
+        i + rng.next_below(static_cast<std::uint32_t>(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::string format_selector(double sel) {
+  std::ostringstream os;
+  os << sel;
+  return os.str();
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  return tcu_kill == 0.0 && cluster_kill == 0.0 && dram_chan_fail == 0.0 &&
+         noc_degrade_factor == 1.0 && soft_flip_rate == 0.0;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  const std::string_view trimmed = xutil::trim(spec);
+  if (trimmed.empty()) return plan;
+  for (const auto& raw : xutil::split(trimmed, ',')) {
+    const std::string directive(xutil::trim(raw));
+    XU_CHECK_MSG(!directive.empty(), "empty fault directive in '" << spec
+                                                                  << "'");
+    const auto parts = xutil::split(directive, ':');
+    const auto is = [&](std::size_t n, const char* a, const char* b = nullptr,
+                        const char* c = nullptr) {
+      return parts.size() == n && parts[0] == a &&
+             (b == nullptr || parts[1] == b) &&
+             (c == nullptr || parts[2] == c);
+    };
+    if (is(3, "tcu", "kill")) {
+      plan.tcu_kill = parse_number(parts[2], directive);
+    } else if (is(3, "cluster", "kill")) {
+      plan.cluster_kill = parse_number(parts[2], directive);
+    } else if (is(3, "dram", "chan")) {
+      plan.dram_chan_fail = parse_number(parts[2], directive);
+    } else if ((parts.size() == 4 || parts.size() == 5) &&
+               parts[0] == "noc" && parts[1] == "link" &&
+               parts[2] == "degrade") {
+      std::string_view factor = parts[3];
+      XU_CHECK_MSG(!factor.empty() && factor.back() == 'x',
+                   "fault directive '" << directive
+                                       << "' needs a factor like '2x'");
+      factor.remove_suffix(1);
+      plan.noc_degrade_factor = parse_number(factor, directive);
+      XU_CHECK_MSG(plan.noc_degrade_factor >= 1.0,
+                   "degrade factor must be >= 1 in '" << directive << "'");
+      plan.noc_degrade_select =
+          parts.size() == 5 ? parse_number(parts[4], directive) : 1.0;
+    } else if (is(3, "soft", "flip")) {
+      plan.soft_flip_rate = parse_number(parts[2], directive);
+      XU_CHECK_MSG(plan.soft_flip_rate <= 1.0,
+                   "soft:flip rate must be a probability, got '" << parts[2]
+                                                                 << "'");
+    } else if (parts.size() == 2 && parts[0] == "seed") {
+      plan.seed = static_cast<std::uint64_t>(
+          std::llround(parse_number(parts[1], directive)));
+    } else {
+      throw xutil::Error(
+          "unrecognized fault directive '" + directive +
+          "' (expected tcu:kill:<sel>, cluster:kill:<sel>, dram:chan:<sel>, "
+          "noc:link:degrade:<f>x[:<sel>], soft:flip:<rate>, or seed:<n>)");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::vector<std::string> parts;
+  if (tcu_kill > 0.0) parts.push_back("tcu:kill:" + format_selector(tcu_kill));
+  if (cluster_kill > 0.0) {
+    parts.push_back("cluster:kill:" + format_selector(cluster_kill));
+  }
+  if (dram_chan_fail > 0.0) {
+    parts.push_back("dram:chan:" + format_selector(dram_chan_fail));
+  }
+  if (noc_degrade_factor != 1.0) {
+    std::string d = "noc:link:degrade:" + format_selector(noc_degrade_factor) +
+                    "x";
+    if (noc_degrade_select != 1.0) d += ":" + format_selector(noc_degrade_select);
+    parts.push_back(d);
+  }
+  if (soft_flip_rate > 0.0) {
+    parts.push_back("soft:flip:" + format_selector(soft_flip_rate));
+  }
+  parts.push_back("seed:" + std::to_string(seed));
+  return xutil::join(parts, ",");
+}
+
+std::size_t FaultMap::dead_tcu_count() const {
+  return static_cast<std::size_t>(
+      std::count(dead_tcu.begin(), dead_tcu.end(), std::uint8_t{1}));
+}
+
+std::size_t FaultMap::failed_channel_count() const {
+  return static_cast<std::size_t>(std::count(
+      failed_channel.begin(), failed_channel.end(), std::uint8_t{1}));
+}
+
+std::size_t FaultMap::degraded_link_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      link_period.begin(), link_period.end(),
+      [](std::uint32_t p) { return p > 1; }));
+}
+
+std::size_t FaultMap::live_tcus() const {
+  return shape.tcus() - dead_tcu_count();
+}
+
+std::size_t FaultMap::live_channels() const {
+  return shape.dram_channels() - failed_channel_count();
+}
+
+std::size_t FaultMap::live_clusters() const {
+  if (dead_tcu.empty()) return shape.clusters;
+  std::size_t live = 0;
+  for (std::size_t cl = 0; cl < shape.clusters; ++cl) {
+    for (std::size_t i = 0; i < shape.tcus_per_cluster; ++i) {
+      if (dead_tcu[cl * shape.tcus_per_cluster + i] == 0) {
+        ++live;
+        break;
+      }
+    }
+  }
+  return live;
+}
+
+double FaultMap::mean_link_throughput() const {
+  if (link_period.empty()) return 1.0;
+  double sum = 0.0;
+  for (const std::uint32_t p : link_period) sum += 1.0 / p;
+  return sum / static_cast<double>(link_period.size());
+}
+
+bool FaultMap::any_machine_faults() const {
+  return dead_tcu_count() > 0 || failed_channel_count() > 0 ||
+         degraded_link_count() > 0;
+}
+
+FaultMap materialize(const FaultPlan& plan, const MachineShape& shape) {
+  XU_CHECK_MSG(shape.clusters >= 1 && shape.tcus_per_cluster >= 1,
+               "fault plan needs a machine with at least one TCU");
+  FaultMap map;
+  map.shape = shape;
+  map.soft_flip_rate = plan.soft_flip_rate;
+  map.seed = plan.seed;
+
+  // Distinct PCG streams per component class so the victim choices are
+  // independent yet all derived from one seed.
+  constexpr std::uint64_t kTcuStream = 0x7c0a;
+  constexpr std::uint64_t kClusterStream = 0x7c0b;
+  constexpr std::uint64_t kChannelStream = 0x7c0c;
+  constexpr std::uint64_t kLinkStream = 0x7c0d;
+
+  const std::size_t n_tcus = shape.tcus();
+  const std::size_t dead_clusters =
+      resolve_count(plan.cluster_kill, shape.clusters);
+  const std::size_t dead_tcus = resolve_count(plan.tcu_kill, n_tcus);
+  if (dead_clusters > 0 || dead_tcus > 0) {
+    map.dead_tcu.assign(n_tcus, 0);
+    for (const std::size_t cl :
+         pick_victims(shape.clusters, dead_clusters, plan.seed,
+                      kClusterStream)) {
+      for (std::size_t i = 0; i < shape.tcus_per_cluster; ++i) {
+        map.dead_tcu[cl * shape.tcus_per_cluster + i] = 1;
+      }
+    }
+    for (const std::size_t t :
+         pick_victims(n_tcus, dead_tcus, plan.seed, kTcuStream)) {
+      map.dead_tcu[t] = 1;
+    }
+    XU_CHECK_MSG(map.live_tcus() >= 1,
+                 "fault plan kills every TCU of " << shape.clusters << "x"
+                                                  << shape.tcus_per_cluster);
+  }
+
+  const std::size_t n_chan = shape.dram_channels();
+  const std::size_t failed = resolve_count(plan.dram_chan_fail, n_chan);
+  if (failed > 0) {
+    map.failed_channel.assign(n_chan, 0);
+    for (const std::size_t c :
+         pick_victims(n_chan, failed, plan.seed, kChannelStream)) {
+      map.failed_channel[c] = 1;
+    }
+    XU_CHECK_MSG(map.live_channels() >= 1,
+                 "fault plan fails all " << n_chan << " DRAM channels");
+  }
+
+  if (plan.noc_degrade_factor > 1.0 && shape.butterfly_links() > 0) {
+    const std::size_t n_links = shape.butterfly_links();
+    // Unlike the kill selectors, 1.0 here means "every link" (the default
+    // of the noc:link:degrade directive), so the fraction range is closed:
+    // sel <= 1 is a fraction of the links, above 1 an absolute count.
+    const std::size_t degraded =
+        plan.noc_degrade_select <= 1.0
+            ? std::min<std::size_t>(
+                  n_links, static_cast<std::size_t>(std::llround(
+                               plan.noc_degrade_select *
+                               static_cast<double>(n_links))))
+            : resolve_count(plan.noc_degrade_select, n_links);
+    if (degraded > 0) {
+      const auto period = static_cast<std::uint32_t>(
+          std::llround(std::ceil(plan.noc_degrade_factor)));
+      map.link_period.assign(n_links, 1);
+      for (const std::size_t l :
+           pick_victims(n_links, degraded, plan.seed, kLinkStream)) {
+        map.link_period[l] = period;
+      }
+    }
+  }
+
+  return map;
+}
+
+}  // namespace xfault

@@ -1,0 +1,121 @@
+// Fault injection for the XMT machine models (the resilience fidelity).
+//
+// At the paper's headline scales (64k-128k x4 TCUs, Tables II/III) a
+// perfect-machine assumption is untenable: wafer-scale FFT systems harvest
+// around defective cores as a first-class design constraint. A FaultPlan is
+// a compact, human-writable description of which component classes fail and
+// how hard; materialize() expands it deterministically (seeded) into a
+// concrete FaultMap for one machine shape, which the cycle-level Machine
+// and the analytic model then honor.
+//
+// Spec grammar (comma-separated directives, all optional):
+//
+//   tcu:kill:<sel>               kill TCUs        (sel < 1: fraction, else count)
+//   cluster:kill:<sel>           kill whole clusters
+//   dram:chan:<sel>              fail DRAM channels (traffic is remapped)
+//   noc:link:degrade:<f>x[:<sel>] degrade butterfly links to 1 req / f cycles
+//                                (sel <= 1: fraction of links, else count;
+//                                default 1 = every link)
+//   soft:flip:<rate>             per-element transient bit-flip probability
+//                                injected into FFT data (host-side harness)
+//   seed:<n>                     override the materialization seed
+//
+// Example: "tcu:kill:0.01,dram:chan:3,noc:link:degrade:2x,soft:flip:1e-9"
+//
+// Victim selection uses a seeded random permutation and takes its first k
+// entries, so for a fixed seed the victim set at a higher fault fraction is
+// a superset of the set at a lower fraction — degradation sweeps are
+// monotone by construction, and every materialization is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xfault {
+
+/// Parsed fault directives (machine-shape independent).
+struct FaultPlan {
+  double tcu_kill = 0.0;           ///< fraction (<1) or count (>=1)
+  double cluster_kill = 0.0;       ///< fraction or count
+  double dram_chan_fail = 0.0;     ///< fraction or count
+  double noc_degrade_factor = 1.0; ///< service period of degraded links
+  double noc_degrade_select = 1.0; ///< fraction or count of links affected
+  double soft_flip_rate = 0.0;     ///< per-element bit-flip probability
+  std::uint64_t seed = 1;
+
+  /// True when no directive is active (the perfect machine).
+  [[nodiscard]] bool empty() const;
+
+  /// Parses the spec grammar above; throws xutil::Error naming the
+  /// offending directive on malformed input. An empty spec is the empty
+  /// plan. `seed` seeds materialization unless the spec carries `seed:`.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec,
+                                       std::uint64_t seed = 1);
+
+  /// Canonical spec string (round-trips through parse()).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Plain-integer description of the machine the plan is materialized on
+/// (kept free of xsim types so xsim can depend on xfault, not vice versa).
+struct MachineShape {
+  std::size_t clusters = 0;
+  std::size_t tcus_per_cluster = 0;
+  std::size_t memory_modules = 0;
+  std::size_t mms_per_dram_ctrl = 1;
+  unsigned butterfly_levels = 0;
+
+  [[nodiscard]] std::size_t tcus() const { return clusters * tcus_per_cluster; }
+  [[nodiscard]] std::size_t dram_channels() const {
+    return mms_per_dram_ctrl == 0 ? 0 : memory_modules / mms_per_dram_ctrl;
+  }
+  [[nodiscard]] std::size_t butterfly_links() const {
+    return static_cast<std::size_t>(butterfly_levels) * clusters;
+  }
+};
+
+/// Concrete, deterministic instantiation of a FaultPlan on one shape.
+/// Default-constructed = the perfect machine (all vectors empty).
+struct FaultMap {
+  MachineShape shape;
+  std::vector<std::uint8_t> dead_tcu;        ///< size shape.tcus() (or empty)
+  std::vector<std::uint8_t> failed_channel;  ///< size dram_channels() (or empty)
+  /// Service period per butterfly link, indexed stage * clusters + link;
+  /// 1 = healthy (one request per cycle). Empty = all healthy.
+  std::vector<std::uint32_t> link_period;
+  double soft_flip_rate = 0.0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool tcu_dead(std::size_t t) const {
+    return !dead_tcu.empty() && dead_tcu[t] != 0;
+  }
+  [[nodiscard]] bool channel_failed(std::size_t c) const {
+    return !failed_channel.empty() && failed_channel[c] != 0;
+  }
+  [[nodiscard]] std::uint32_t period_of_link(std::size_t idx) const {
+    return link_period.empty() ? 1u : link_period[idx];
+  }
+
+  [[nodiscard]] std::size_t dead_tcu_count() const;
+  [[nodiscard]] std::size_t failed_channel_count() const;
+  [[nodiscard]] std::size_t degraded_link_count() const;
+  [[nodiscard]] std::size_t live_tcus() const;
+  [[nodiscard]] std::size_t live_channels() const;
+  /// Clusters with at least one live TCU.
+  [[nodiscard]] std::size_t live_clusters() const;
+  /// Mean per-link throughput of the butterfly (1.0 when healthy or absent).
+  [[nodiscard]] double mean_link_throughput() const;
+  /// True if any machine-visible fault is present (soft errors excluded —
+  /// those live in the host-side data path, not the timing model).
+  [[nodiscard]] bool any_machine_faults() const;
+};
+
+/// Expands `plan` on `shape`. Deterministic for a fixed plan (including its
+/// seed). Throws xutil::Error if the plan would kill every TCU or fail
+/// every DRAM channel — a machine with no survivors cannot degrade
+/// gracefully, only die, and callers should know at plan time.
+[[nodiscard]] FaultMap materialize(const FaultPlan& plan,
+                                   const MachineShape& shape);
+
+}  // namespace xfault

@@ -1,0 +1,58 @@
+// End-to-end soft-error resilience harness for the host FFT.
+//
+// Models the recovery loop a degraded XMT machine would run: transient bit
+// flips are injected into row data (rate from a FaultPlan's soft:flip
+// directive), each row's transform is verified with a Parseval-style energy
+// checksum (an unscaled DFT preserves sum |x|^2 up to the factor N), and a
+// detected corruption triggers bounded recomputation of the affected
+// butterfly slab (the row). Injection, like every fault in xfault, is
+// deterministic for a fixed seed.
+//
+// Injected flips target a high exponent bit, modeling the high-order upsets
+// an energy checksum can catch; low-order mantissa flips are below the FFT's
+// own rounding noise and would need residue-style checks — a documented
+// limitation, not an oversight (docs/architecture.md section 6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "xfft/types.hpp"
+
+namespace xfault {
+
+struct ResilienceOptions {
+  double soft_flip_rate = 0.0;  ///< per-element bit-flip probability
+  std::uint64_t seed = 1;
+  /// Compute attempts per row: 1 initial + (max_attempts - 1) recoveries.
+  unsigned max_attempts_per_row = 4;
+  /// Relative tolerance of the Parseval checksum (float FFT rounding noise
+  /// is ~1e-6; an exponent-bit upset shifts row energy by orders of
+  /// magnitude).
+  double checksum_rel_tolerance = 1e-3;
+  unsigned max_radix = 8;
+};
+
+/// Retry/backoff accounting of one resilient transform.
+struct ResilienceReport {
+  std::uint64_t rows_computed = 0;    ///< row transforms, first attempts only
+  std::uint64_t flips_injected = 0;   ///< transient upsets inserted
+  std::uint64_t errors_detected = 0;  ///< checksum mismatches observed
+  std::uint64_t rows_recomputed = 0;  ///< recovery recomputations
+  std::uint64_t retries_exhausted = 0;  ///< rows left corrupted (should be 0)
+
+  [[nodiscard]] bool ok() const { return retries_exhausted == 0; }
+};
+
+/// Sum of |v|^2 over `data`, accumulated in double (the checksum primitive).
+[[nodiscard]] double parseval_energy(std::span<const xfft::Cf> data);
+
+/// In-place N-dimensional FFT over `dims` with per-row checksum verification
+/// and bounded recomputation. With soft_flip_rate == 0 the output is
+/// identical to xfft::PlanND's separate-rotation path (same row plans, same
+/// rotation passes). Inverse transforms apply the unitary 1/N scaling.
+ResilienceReport resilient_fft(std::span<xfft::Cf> data, xfft::Dims3 dims,
+                               xfft::Direction dir,
+                               const ResilienceOptions& opt = {});
+
+}  // namespace xfault

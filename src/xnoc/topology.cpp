@@ -19,7 +19,9 @@ std::string Topology::describe() const {
 
 Topology pure_mot(std::size_t clusters, std::size_t modules) {
   Topology t{clusters, modules,
-             xutil::log2_exact(clusters) + xutil::log2_exact(modules), 0};
+             xutil::log2_exact(clusters, "clusters") +
+                 xutil::log2_exact(modules, "memory modules"),
+             0};
   validate(t);
   return t;
 }
@@ -36,8 +38,8 @@ void validate(const Topology& t) {
                "topology must connect at least one cluster and module");
   XU_CHECK_MSG(xutil::is_pow2(t.clusters) && xutil::is_pow2(t.modules),
                "cluster and module counts must be powers of two");
-  const unsigned full = xutil::log2_exact(t.clusters) +
-                        xutil::log2_exact(t.modules);
+  const unsigned full = xutil::log2_exact(t.clusters, "clusters") +
+                        xutil::log2_exact(t.modules, "memory modules");
   XU_CHECK_MSG(t.total_levels() <= full,
                "level split " << t.mot_levels << "+" << t.butterfly_levels
                               << " exceeds pure-MoT depth " << full);

@@ -17,7 +17,14 @@ DetailedFftResult run_fft_on_machine(Machine& machine, xfft::Dims3 dims,
         machine.run_parallel_section(ph.threads, gen, /*keep_cache=*/!first);
     first = false;
     out.total_cycles += r.cycles;
+    const bool truncated = r.truncated;
     out.phases.push_back({ph.name, r});
+    if (truncated) {
+      // Later phases would start from an inconsistent machine state; keep
+      // the partial telemetry and stop.
+      out.truncated = true;
+      break;
+    }
   }
   return out;
 }

@@ -20,6 +20,9 @@ struct DetailedFftResult {
   };
   std::vector<Phase> phases;
   std::uint64_t total_cycles = 0;
+  /// True when a phase hit the cycle-limit watchdog; the run stops at that
+  /// phase and total_cycles covers only the phases actually simulated.
+  bool truncated = false;
 
   /// Throughput by the paper's convention at a given clock.
   [[nodiscard]] double standard_gflops(xfft::Dims3 dims,

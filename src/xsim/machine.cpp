@@ -44,10 +44,61 @@ struct Channel {
 
 }  // namespace
 
+DeadlockError::DeadlockError(std::uint64_t cycle_limit,
+                             std::uint64_t threads_completed,
+                             std::uint64_t threads_total,
+                             std::uint64_t outstanding,
+                             std::uint64_t max_mm_queue,
+                             std::uint64_t max_noc_queue)
+    : xutil::Error(
+          "machine simulation exceeded cycle limit " +
+          std::to_string(cycle_limit) + " (deadlock?): " +
+          std::to_string(threads_completed) + "/" +
+          std::to_string(threads_total) + " threads joined, " +
+          std::to_string(outstanding) + " requests in flight, max queues " +
+          std::to_string(max_mm_queue) + " (module) / " +
+          std::to_string(max_noc_queue) + " (NoC)"),
+      cycle_limit(cycle_limit),
+      threads_completed(threads_completed),
+      threads_total(threads_total),
+      outstanding(outstanding),
+      max_mm_queue(max_mm_queue),
+      max_noc_queue(max_noc_queue) {}
+
+xfault::MachineShape fault_shape(const MachineConfig& config) {
+  xfault::MachineShape s;
+  s.clusters = config.clusters;
+  s.tcus_per_cluster = config.tcus_per_cluster;
+  s.memory_modules = config.memory_modules;
+  s.mms_per_dram_ctrl = config.mms_per_dram_ctrl;
+  s.butterfly_levels = config.butterfly_levels;
+  return s;
+}
+
 Machine::Machine(MachineConfig config, MachineOptions opt)
     : config_(std::move(config)), opt_(opt) {
   config_.validate();
   reset_caches();
+}
+
+void Machine::set_faults(xfault::FaultMap faults) {
+  const xfault::MachineShape want = fault_shape(config_);
+  const bool empty_map = faults.dead_tcu.empty() &&
+                         faults.failed_channel.empty() &&
+                         faults.link_period.empty();
+  if (empty_map) {
+    faults.shape = want;  // clearing faults needs no shape from the caller
+  } else {
+    const xfault::MachineShape& got = faults.shape;
+    XU_CHECK_MSG(got.clusters == want.clusters &&
+                     got.tcus_per_cluster == want.tcus_per_cluster &&
+                     got.memory_modules == want.memory_modules &&
+                     got.mms_per_dram_ctrl == want.mms_per_dram_ctrl &&
+                     got.butterfly_levels == want.butterfly_levels,
+                 "fault map was materialized for a different machine shape "
+                 "than '" << config_.name << "'");
+  }
+  faults_ = std::move(faults);
 }
 
 void Machine::reset_caches() {
@@ -81,7 +132,8 @@ MachineResult Machine::run_parallel_section(std::uint64_t num_threads,
   const std::size_t tcus_per_cluster = config_.tcus_per_cluster;
   const std::size_t n_tcus = n_clusters * tcus_per_cluster;
   const unsigned bf_stages = config_.butterfly_levels;
-  const unsigned module_bits = xutil::log2_exact(config_.memory_modules);
+  const unsigned module_bits =
+      xutil::log2_exact(config_.memory_modules, "memory modules");
   const unsigned cluster_side_latency = config_.mot_levels / 2;
   const unsigned module_side_latency =
       config_.mot_levels - cluster_side_latency;
@@ -90,6 +142,11 @@ MachineResult Machine::run_parallel_section(std::uint64_t num_threads,
 
   MachineResult res;
   res.threads = num_threads;
+  res.dead_tcus = faults_.dead_tcu_count();
+  res.failed_channels = faults_.failed_channel_count();
+  res.degraded_links = faults_.degraded_link_count();
+  XU_CHECK_MSG(res.dead_tcus < n_tcus,
+               "no live TCU to run the parallel section");
 
   std::vector<TcuState> tcu(n_tcus);
   std::uint64_t next_thread = 0;   // the PS-incremented global register X
@@ -104,8 +161,30 @@ MachineResult Machine::run_parallel_section(std::uint64_t num_threads,
   std::deque<std::pair<std::uint64_t, Request>> mot_out;
   // Per-module service queues.
   std::vector<std::deque<Request>> mm_q(config_.memory_modules);
-  // DRAM channels.
+  // DRAM channels. Traffic destined for a failed channel is remapped to the
+  // next surviving controller (scanning upward, wrapping) — survivors absorb
+  // the orphaned modules' line fills at the cost of row-buffer locality.
   std::vector<Channel> channels(config_.dram_channels());
+  std::vector<std::uint32_t> chan_remap(channels.size());
+  {
+    std::size_t live_channels = 0;
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      if (!faults_.channel_failed(c)) ++live_channels;
+    }
+    XU_CHECK_MSG(channels.empty() || live_channels >= 1,
+                 "no surviving DRAM channel to remap traffic onto");
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::size_t target = c;
+      while (faults_.channel_failed(target)) {
+        target = (target + 1) % channels.size();
+      }
+      chan_remap[c] = static_cast<std::uint32_t>(target);
+    }
+  }
+  // Degraded butterfly links forward one packet per `period` cycles instead
+  // of every cycle; healthy links have period 1 and are never gated.
+  std::vector<std::uint64_t> link_free(
+      faults_.link_period.empty() ? 0 : stage_q.size(), 0);
   // Load completions: min-heap on ready cycle.
   using Completion = std::pair<std::uint64_t, std::uint32_t>;
   std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
@@ -145,7 +224,11 @@ MachineResult Machine::run_parallel_section(std::uint64_t num_threads,
     t.has_thread = true;
     settle(t);
   };
-  for (auto& t : tcu) grab_thread(t);
+  // The prefix-sum allocator only hands thread IDs to live TCUs; a dead TCU
+  // never grabs work, so the machine degrades instead of stalling.
+  for (std::size_t t = 0; t < n_tcus; ++t) {
+    if (!faults_.tcu_dead(t)) grab_thread(tcu[t]);
+  }
 
   const auto butterfly_next_link = [&](std::uint32_t link, std::uint32_t dst,
                                        unsigned s) -> std::uint32_t {
@@ -159,8 +242,17 @@ MachineResult Machine::run_parallel_section(std::uint64_t num_threads,
   // fire-and-forget stores) has been serviced — bandwidth accounting and
   // queue-conservation invariants depend on full drain.
   while (done_threads < num_threads || inflight > 0) {
-    XU_CHECK_MSG(cycle < opt_.cycle_limit,
-                 "machine simulation exceeded cycle limit (deadlock?)");
+    if (cycle >= opt_.cycle_limit) {
+      // Watchdog: preserve the telemetry gathered so far instead of
+      // discarding the whole run.
+      if (opt_.throw_on_cycle_limit) {
+        throw DeadlockError(opt_.cycle_limit, done_threads, num_threads,
+                            inflight, res.max_mm_queue, res.max_noc_queue);
+      }
+      res.truncated = true;
+      res.outstanding_at_abort = inflight;
+      break;
+    }
 
     // 1. Retire load completions.
     while (!completions.empty() && completions.top().first <= cycle) {
@@ -213,7 +305,11 @@ MachineResult Machine::run_parallel_section(std::uint64_t num_threads,
                               req.tcu);
         }
       } else {
-        channels[m / config_.mms_per_dram_ctrl].queue.push_back(req);
+        const auto home =
+            static_cast<std::uint32_t>(m / config_.mms_per_dram_ctrl);
+        const std::uint32_t ch = chan_remap[home];
+        if (ch != home) ++res.remapped_fills;
+        channels[ch].queue.push_back(req);
       }
     }
 
@@ -227,10 +323,16 @@ MachineResult Machine::run_parallel_section(std::uint64_t num_threads,
     // 5. Butterfly stages, last first (one stage per cycle per packet).
     for (unsigned s = bf_stages; s-- > 0;) {
       for (std::size_t link = 0; link < n_clusters; ++link) {
-        auto& q = stage_q[static_cast<std::size_t>(s) * n_clusters + link];
+        const std::size_t li = static_cast<std::size_t>(s) * n_clusters + link;
+        auto& q = stage_q[li];
         if (q.empty()) continue;
+        if (!link_free.empty() && link_free[li] > cycle) continue;
         const Request req = q.front();
         q.pop_front();
+        if (!link_free.empty()) {
+          const std::uint32_t period = faults_.period_of_link(li);
+          if (period > 1) link_free[li] = cycle + period;
+        }
         if (s + 1 == bf_stages) {
           mot_out.emplace_back(cycle + module_side_latency, req);
         } else {
@@ -328,16 +430,24 @@ MachineResult Machine::run_parallel_section(std::uint64_t num_threads,
   }
 
   res.cycles = cycle;
+  res.threads_completed = done_threads;
+  // Utilizations are measured against the machine's *surviving* capacity:
+  // a half-dead machine running its live half flat out is fully utilized.
+  const std::size_t live_clusters = faults_.dead_tcu.empty()
+                                        ? n_clusters
+                                        : faults_.live_clusters();
+  const std::size_t live_channels = faults_.failed_channel.empty()
+                                        ? channels.size()
+                                        : faults_.live_channels();
   const double denom = static_cast<double>(cycle);
   res.fpu_utilization =
       static_cast<double>(fpu_busy) /
-      (denom * static_cast<double>(n_clusters * config_.fpus_per_cluster));
+      (denom * static_cast<double>(live_clusters * config_.fpus_per_cluster));
   res.lsu_utilization =
       static_cast<double>(lsu_busy) /
-      (denom * static_cast<double>(n_clusters * config_.lsus_per_cluster));
-  res.dram_utilization =
-      static_cast<double>(dram_busy) /
-      (denom * static_cast<double>(channels.size()));
+      (denom * static_cast<double>(live_clusters * config_.lsus_per_cluster));
+  res.dram_utilization = static_cast<double>(dram_busy) /
+                         (denom * static_cast<double>(live_channels));
   return res;
 }
 

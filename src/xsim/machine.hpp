@@ -20,7 +20,9 @@
 #include <functional>
 #include <vector>
 
+#include "xfault/fault_plan.hpp"
 #include "xsim/config.hpp"
+#include "xutil/check.hpp"
 
 namespace xsim {
 
@@ -48,12 +50,32 @@ struct MachineOptions {
   unsigned dram_row_miss_penalty = 4;      ///< extra cycles, non-sequential
   unsigned response_latency = 4;           ///< return path (uncontended)
   std::uint64_t cycle_limit = 500'000'000;  ///< deadlock guard
+  /// When the guard trips: false (default) returns a partial MachineResult
+  /// with truncated set and full telemetry; true throws DeadlockError.
+  bool throw_on_cycle_limit = false;
+};
+
+/// Typed watchdog failure carrying the abort-time diagnostics that the old
+/// bare invariant check used to discard.
+class DeadlockError : public xutil::Error {
+ public:
+  DeadlockError(std::uint64_t cycle_limit, std::uint64_t threads_completed,
+                std::uint64_t threads_total, std::uint64_t outstanding,
+                std::uint64_t max_mm_queue, std::uint64_t max_noc_queue);
+
+  std::uint64_t cycle_limit = 0;
+  std::uint64_t threads_completed = 0;
+  std::uint64_t threads_total = 0;
+  std::uint64_t outstanding = 0;      ///< in-flight requests at abort
+  std::uint64_t max_mm_queue = 0;     ///< deepest module queue observed
+  std::uint64_t max_noc_queue = 0;    ///< deepest butterfly-link queue
 };
 
 /// Aggregate observables of one parallel section.
 struct MachineResult {
   std::uint64_t cycles = 0;
   std::uint64_t threads = 0;
+  std::uint64_t threads_completed = 0;  ///< == threads unless truncated
   std::uint64_t mem_requests = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t dram_line_fills = 0;
@@ -66,6 +88,14 @@ struct MachineResult {
   double fpu_utilization = 0.0;
   double lsu_utilization = 0.0;
   double dram_utilization = 0.0;
+
+  // Degradation diagnostics (zero on a healthy machine).
+  bool truncated = false;  ///< cycle-limit watchdog cut the section short
+  std::uint64_t outstanding_at_abort = 0;  ///< in-flight requests, if truncated
+  std::uint64_t dead_tcus = 0;             ///< TCUs the PS allocator skipped
+  std::uint64_t failed_channels = 0;       ///< DRAM channels taken offline
+  std::uint64_t degraded_links = 0;        ///< butterfly links running slow
+  std::uint64_t remapped_fills = 0;  ///< line fills rerouted off failed channels
 
   [[nodiscard]] double cache_hit_rate() const {
     return mem_requests == 0
@@ -89,16 +119,29 @@ class Machine {
 
   [[nodiscard]] const MachineConfig& config() const { return config_; }
 
+  /// Installs a fault map (materialized for this machine's shape — see
+  /// fault_shape()). The machine then degrades rather than dies: dead TCUs
+  /// are skipped by the prefix-sum allocator, traffic destined for failed
+  /// DRAM channels is remapped to surviving controllers, and degraded
+  /// butterfly links forward at their reduced rate. Throws xutil::Error if
+  /// the map's shape does not match the configuration.
+  void set_faults(xfault::FaultMap faults);
+  [[nodiscard]] const xfault::FaultMap& faults() const { return faults_; }
+
   /// Memory module servicing a byte address (the global address hash).
   [[nodiscard]] std::uint32_t module_of(std::uint64_t addr) const;
 
  private:
   MachineConfig config_;
   MachineOptions opt_;
+  xfault::FaultMap faults_;  ///< default: the perfect machine
   // Per-module direct-mapped line-tag cache, persisted across sections when
   // keep_cache is requested.
   std::vector<std::vector<std::uint64_t>> cache_tags_;
   void reset_caches();
 };
+
+/// The plain-integer shape of `config` for xfault::materialize().
+[[nodiscard]] xfault::MachineShape fault_shape(const MachineConfig& config);
 
 }  // namespace xsim

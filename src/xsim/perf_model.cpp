@@ -26,8 +26,37 @@ std::string bound_name(Bound b) {
   return "?";
 }
 
+FaultDerating FaultDerating::from_fault_map(const xfault::FaultMap& map) {
+  FaultDerating d;
+  const xfault::MachineShape& s = map.shape;
+  if (s.clusters > 0) {
+    d.compute = static_cast<double>(map.live_clusters()) /
+                static_cast<double>(s.clusters);
+    d.ports = d.compute;
+  }
+  if (s.tcus() > 0) {
+    d.issue = static_cast<double>(map.live_tcus()) /
+              static_cast<double>(s.tcus());
+  }
+  if (s.dram_channels() > 0) {
+    d.dram = static_cast<double>(map.live_channels()) /
+             static_cast<double>(s.dram_channels());
+  }
+  d.noc = map.mean_link_throughput();
+  return d;
+}
+
 FftPerfModel::FftPerfModel(MachineConfig config) : config_(std::move(config)) {
   config_.validate();
+}
+
+FftPerfModel::FftPerfModel(MachineConfig config, FaultDerating derating)
+    : config_(std::move(config)), derate_(derating) {
+  config_.validate();
+  XU_CHECK_MSG(derate_.compute > 0.0 && derate_.issue > 0.0 &&
+                   derate_.ports > 0.0 && derate_.noc > 0.0 &&
+                   derate_.dram > 0.0,
+               "fault derating leaves a resource with zero capacity");
 }
 
 PhaseTiming FftPerfModel::time_phase(const xfft::KernelPhase& ph) const {
@@ -51,19 +80,20 @@ PhaseTiming FftPerfModel::time_phase(const xfft::KernelPhase& ph) const {
   PhaseTiming t;
   t.name = ph.name;
   t.rotation = ph.rotation;
-  // Per-resource cycle counts at full machine occupancy.
+  // Per-resource cycle counts at full *surviving* machine occupancy: each
+  // resource's healthy throughput is scaled by its fault-derating fraction.
   t.compute_cycles = static_cast<double>(ph.flops) /
-                     (clusters * c.fpus_per_cluster);
+                     (clusters * c.fpus_per_cluster * derate_.compute);
   t.issue_cycles = static_cast<double>(ph.total_instructions()) /
-                   (clusters * c.tcus_per_cluster);
-  t.lsu_cycles =
-      all_bytes / (clusters * c.lsus_per_cluster * cal::kLsuBytesPerCycle);
-  t.noc_cycles =
-      all_bytes / (clusters * cal::kNocPortBytesPerCycle * noc_eff);
+                   (clusters * c.tcus_per_cluster * derate_.issue);
+  t.lsu_cycles = all_bytes / (clusters * c.lsus_per_cluster *
+                              cal::kLsuBytesPerCycle * derate_.ports);
+  t.noc_cycles = all_bytes / (clusters * cal::kNocPortBytesPerCycle * noc_eff *
+                              derate_.ports * derate_.noc);
   // Twiddle reads hit the on-chip cache modules (the replicated LUT) and do
   // not reach DRAM; data reads/writes stream through at line granularity.
   t.dram_cycles = data_bytes / (static_cast<double>(c.dram_channels()) * 8.0 *
-                                dram_eff);
+                                dram_eff * derate_.dram);
 
   // p-norm bottleneck combination (see calibration.hpp).
   const double p = cal::kBottleneckNorm;

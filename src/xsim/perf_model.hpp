@@ -8,10 +8,32 @@
 #include <string>
 #include <vector>
 
+#include "xfault/fault_plan.hpp"
 #include "xfft/xmt_kernel.hpp"
 #include "xsim/config.hpp"
 
 namespace xsim {
+
+/// Capacity retained per resource class on a degraded machine, as fractions
+/// of the healthy configuration (1.0 = unharmed). The analytic model divides
+/// each resource's throughput by its surviving fraction, which keeps the
+/// per-phase bound structure while shifting where the bottleneck lands.
+struct FaultDerating {
+  double compute = 1.0;  ///< FPU pools (live-cluster fraction)
+  double issue = 1.0;    ///< TCU issue slots (live-TCU fraction)
+  double ports = 1.0;    ///< LSU / NoC injection ports (live-cluster fraction)
+  double noc = 1.0;      ///< butterfly link throughput (mean of 1/period)
+  double dram = 1.0;     ///< DRAM channels (live-channel fraction)
+
+  [[nodiscard]] bool healthy() const {
+    return compute == 1.0 && issue == 1.0 && ports == 1.0 && noc == 1.0 &&
+           dram == 1.0;
+  }
+
+  /// Derives the surviving fractions from a materialized fault map.
+  [[nodiscard]] static FaultDerating from_fault_map(
+      const xfault::FaultMap& map);
+};
 
 /// Which resource bound a phase.
 enum class Bound { kCompute, kIssue, kLsu, kNoc, kDram, kOverhead };
@@ -73,6 +95,12 @@ class FftPerfModel {
  public:
   explicit FftPerfModel(MachineConfig config);
 
+  /// Model of a degraded machine: resource throughputs are scaled by the
+  /// surviving-capacity fractions in `derating`.
+  FftPerfModel(MachineConfig config, FaultDerating derating);
+
+  [[nodiscard]] const FaultDerating& derating() const { return derate_; }
+
   /// Times the FFT whose iteration structure is `phases` over `dims`
   /// (dims.total() is used for the 5 N log2 N convention).
   [[nodiscard]] FftPerfReport analyze(xfft::Dims3 dims,
@@ -91,6 +119,7 @@ class FftPerfModel {
 
  private:
   MachineConfig config_;
+  FaultDerating derate_;
 };
 
 }  // namespace xsim

@@ -78,15 +78,28 @@ std::vector<std::string> Flags::unused() const {
   return out;
 }
 
+void Flags::reject_unused() const {
+  const auto stray = unused();
+  if (stray.empty()) return;
+  std::vector<std::string> dashed;
+  dashed.reserve(stray.size());
+  for (const auto& name : stray) dashed.push_back("--" + name);
+  throw Error("unrecognized flag" + std::string(stray.size() > 1 ? "s" : "") +
+              ": " + join(dashed, ", "));
+}
+
 void parse_dims(const std::string& text, std::size_t* nx, std::size_t* ny,
                 std::size_t* nz) {
-  XU_CHECK_MSG(!text.empty(), "empty dimension spec");
+  XU_CHECK_MSG(!text.empty(),
+               "empty dimension spec (expected N, N^2, N^3 or NXxNYxNZ)");
   const auto parse_one = [&](std::string_view s) -> std::size_t {
     std::size_t v = 0;
     const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
     XU_CHECK_MSG(res.ec == std::errc{} && res.ptr == s.data() + s.size() &&
                      v >= 1,
-                 "bad dimension '" << std::string(s) << "'");
+                 "bad dimension '" << std::string(s) << "' in '" << text
+                                   << "': dimensions must be positive "
+                                      "integers");
     return v;
   };
   const auto caret = text.find('^');
@@ -94,7 +107,8 @@ void parse_dims(const std::string& text, std::size_t* nx, std::size_t* ny,
     const std::size_t side = parse_one(std::string_view(text).substr(0, caret));
     const std::size_t exp =
         parse_one(std::string_view(text).substr(caret + 1));
-    XU_CHECK_MSG(exp >= 1 && exp <= 3, "exponent must be 1..3");
+    XU_CHECK_MSG(exp >= 1 && exp <= 3, "exponent must be 1..3 in '"
+                                           << text << "', got " << exp);
     *nx = side;
     *ny = exp >= 2 ? side : 1;
     *nz = exp >= 3 ? side : 1;
@@ -102,7 +116,9 @@ void parse_dims(const std::string& text, std::size_t* nx, std::size_t* ny,
   }
   const auto parts = split(text, 'x');
   XU_CHECK_MSG(parts.size() >= 1 && parts.size() <= 3,
-               "expected NX[xNY[xNZ]], got '" << text << "'");
+               "expected NX[xNY[xNZ]], got '" << text << "' ("
+                                              << parts.size()
+                                              << " dimensions, max 3)");
   *nx = parse_one(parts[0]);
   *ny = parts.size() >= 2 ? parse_one(parts[1]) : 1;
   *nz = parts.size() >= 3 ? parse_one(parts[2]) : 1;

@@ -1,8 +1,9 @@
 // Minimal command-line flag parser for the repository's tools.
 //
 // Supports `--name value`, `--name=value`, boolean `--flag`, and bare
-// positional arguments. Unknown-flag detection is the caller's job via
-// unused(); values are fetched with typed getters that throw on bad input.
+// positional arguments. Callers reject typos by calling reject_unused()
+// once every known flag has been read; values are fetched with typed
+// getters that throw on bad input.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +36,11 @@ class Flags {
 
   /// Flags that were parsed but never queried — for unknown-flag errors.
   [[nodiscard]] std::vector<std::string> unused() const;
+
+  /// Throws xutil::Error naming every flag that was parsed but never
+  /// queried (the full list in one message, so a user fixes all typos in
+  /// one round trip). Call after all known flags have been read.
+  void reject_unused() const;
 
  private:
   std::map<std::string, std::string> values_;

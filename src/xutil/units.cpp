@@ -46,8 +46,10 @@ std::string format_dims3(std::uint64_t nx, std::uint64_t ny,
          std::to_string(nz);
 }
 
-unsigned log2_exact(std::uint64_t n) {
-  XU_CHECK_MSG(is_pow2(n), "log2_exact requires a power of two, got " << n);
+unsigned log2_exact(std::uint64_t n, const char* what) {
+  XU_CHECK_MSG(is_pow2(n), (what == nullptr ? "value" : what)
+                               << " must be a nonzero power of two, got "
+                               << n);
   unsigned r = 0;
   while ((n >> r) != 1) ++r;
   return r;

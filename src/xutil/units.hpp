@@ -51,8 +51,10 @@ inline constexpr double kTera = 1e12;
 [[nodiscard]] std::string format_dims3(std::uint64_t nx, std::uint64_t ny,
                                        std::uint64_t nz);
 
-/// Integer log2 of a power of two; throws if not a power of two.
-[[nodiscard]] unsigned log2_exact(std::uint64_t n);
+/// Integer log2 of a power of two; throws if not a power of two. `what`
+/// names the quantity in the error message (e.g. "clusters") so the
+/// failure is actionable at the call site that constrained the value.
+[[nodiscard]] unsigned log2_exact(std::uint64_t n, const char* what = nullptr);
 
 /// True if n is a power of two (n >= 1).
 [[nodiscard]] constexpr bool is_pow2(std::uint64_t n) {

@@ -151,12 +151,35 @@ TEST(Machine, CacheHitsAfterWarmup) {
   EXPECT_LT(warm.cycles, cold.cycles);
 }
 
-TEST(Machine, DeadlockGuardFires) {
+TEST(Machine, CycleLimitTruncatesGracefullyByDefault) {
   auto opt = xsim::MachineOptions{};
   opt.cycle_limit = 100;
   Machine m(tiny_config(), opt);
   const auto gen = xsim::make_uniform_generator(64, 64, 1 << 20, 17);
-  EXPECT_THROW(m.run_parallel_section(4096, gen), xutil::Error);
+  const auto r = m.run_parallel_section(4096, gen);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.cycles, 100u);
+  EXPECT_LT(r.threads_completed, r.threads);
+  // An aborted memory-bound section must have work in flight.
+  EXPECT_GT(r.outstanding_at_abort, 0u);
+}
+
+TEST(Machine, CycleLimitThrowsTypedErrorWhenRequested) {
+  auto opt = xsim::MachineOptions{};
+  opt.cycle_limit = 100;
+  opt.throw_on_cycle_limit = true;
+  Machine m(tiny_config(), opt);
+  const auto gen = xsim::make_uniform_generator(64, 64, 1 << 20, 17);
+  try {
+    (void)m.run_parallel_section(4096, gen);
+    FAIL() << "expected DeadlockError";
+  } catch (const xsim::DeadlockError& e) {
+    EXPECT_EQ(e.cycle_limit, 100u);
+    EXPECT_EQ(e.threads_total, 4096u);
+    EXPECT_LT(e.threads_completed, e.threads_total);
+    EXPECT_GT(e.outstanding, 0u);
+    EXPECT_NE(std::string(e.what()).find("cycle limit"), std::string::npos);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,8 @@
 // Tests for the command-line flag parser and dimension-spec parsing.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "xutil/check.hpp"
 #include "xutil/flags.hpp"
 
@@ -44,6 +46,27 @@ TEST(Flags, UnusedTracksUnqueriedFlags) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(Flags, RejectUnusedListsEveryStrayFlagInOneError) {
+  const auto f = make({"--config", "64k", "--sizee=8", "--verbos"});
+  (void)f.get("config", "");
+  try {
+    f.reject_unused();
+    FAIL() << "expected error for stray flags";
+  } catch (const xutil::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--sizee"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--verbos"), std::string::npos) << msg;
+  }
+}
+
+TEST(Flags, RejectUnusedPassesWhenAllFlagsQueried) {
+  const auto f = make({"--config", "64k", "--n=3"});
+  (void)f.get("config", "");
+  (void)f.get_int("n", 0);
+  EXPECT_NO_THROW(f.reject_unused());
+  EXPECT_NO_THROW(make({}).reject_unused());
+}
+
 TEST(Flags, BooleanBeforeAnotherFlag) {
   const auto f = make({"--verbose", "--n", "3"});
   EXPECT_TRUE(f.has("verbose"));
@@ -82,6 +105,32 @@ TEST(ParseDims, RejectsMalformedSpecs) {
   EXPECT_THROW(xutil::parse_dims("2^4", &x, &y, &z), xutil::Error);
   EXPECT_THROW(xutil::parse_dims("1x2x3x4", &x, &y, &z), xutil::Error);
   EXPECT_THROW(xutil::parse_dims("0x2", &x, &y, &z), xutil::Error);
+  EXPECT_THROW(xutil::parse_dims("8x-2", &x, &y, &z), xutil::Error);
+  EXPECT_THROW(xutil::parse_dims("-4", &x, &y, &z), xutil::Error);
+}
+
+std::string dims_error(const std::string& spec) {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t z = 0;
+  try {
+    xutil::parse_dims(spec, &x, &y, &z);
+  } catch (const xutil::Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ParseDims, ErrorsNameTheOffendingValue) {
+  // A user typing --size 8x-2 must see both the bad part and the full spec.
+  const auto neg = dims_error("8x-2");
+  EXPECT_NE(neg.find("-2"), std::string::npos) << neg;
+  EXPECT_NE(neg.find("8x-2"), std::string::npos) << neg;
+  const auto exp = dims_error("2^4");
+  EXPECT_NE(exp.find("4"), std::string::npos) << exp;
+  EXPECT_NE(exp.find("2^4"), std::string::npos) << exp;
+  const auto parts = dims_error("1x2x3x4");
+  EXPECT_NE(parts.find("1x2x3x4"), std::string::npos) << parts;
 }
 
 }  // namespace

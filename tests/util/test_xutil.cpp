@@ -135,9 +135,28 @@ TEST(Units, Log2AndPow2) {
   EXPECT_EQ(xutil::log2_exact(1), 0u);
   EXPECT_EQ(xutil::log2_exact(1ull << 27), 27u);
   EXPECT_THROW((void)xutil::log2_exact(12), xutil::Error);
+  EXPECT_THROW((void)xutil::log2_exact(0), xutil::Error);
   EXPECT_TRUE(xutil::is_pow2(64));
   EXPECT_FALSE(xutil::is_pow2(0));
   EXPECT_FALSE(xutil::is_pow2(48));
+}
+
+TEST(Units, Log2ExactErrorNamesValueAndContext) {
+  try {
+    (void)xutil::log2_exact(12, "memory modules");
+    FAIL() << "expected error";
+  } catch (const xutil::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("memory modules"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("12"), std::string::npos) << msg;
+  }
+  // Without a context string the message still carries the bad value.
+  try {
+    (void)xutil::log2_exact(48);
+    FAIL() << "expected error";
+  } catch (const xutil::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("48"), std::string::npos);
+  }
 }
 
 TEST(Table, RendersAlignedBox) {

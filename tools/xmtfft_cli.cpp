@@ -10,10 +10,18 @@
 //       Cycle-level machine run on a custom scaled configuration.
 //   xmtfft_cli fft --size 1024 [--inverse]
 //       Host FFT of a synthetic signal; prints a checksum and timing.
+//   xmtfft_cli faults --faults "cluster:kill:1,dram:chan:1,soft:flip:1e-4"
+//       Degraded-machine run: cycle-level (scaled config) or analytic
+//       (--config preset) timing under a fault plan, plus the host-side
+//       soft-error detection/recovery harness with checksum verification.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
+#include "xfault/fault_plan.hpp"
+#include "xfault/resilient_fft.hpp"
+#include "xfft/fftnd.hpp"
 #include "xfft/plan_cache.hpp"
 #include "xroof/roofline.hpp"
 #include "xsim/fft_on_machine.hpp"
@@ -29,13 +37,18 @@ namespace {
 
 int usage() {
   std::puts(
-      "usage: xmtfft_cli <configs|simulate|roofline|machine|fft> [flags]\n"
+      "usage: xmtfft_cli <configs|simulate|roofline|machine|fft|faults>"
+      " [flags]\n"
       "  configs\n"
       "  simulate --config {4k,8k,64k,128k_x2,128k_x4} --size 512^3"
       " [--radix 8]\n"
       "  roofline --config <name> --size <dims>\n"
       "  machine  --clusters N [--mot L] [--bf L] --size <dims>\n"
-      "  fft      --size N [--inverse]");
+      "  fft      --size N [--inverse]\n"
+      "  faults   --faults <spec> [--seed N] [--config <name> | --clusters N]"
+      " --size <dims>\n"
+      "           spec: tcu:kill:<sel>,cluster:kill:<sel>,dram:chan:<sel>,"
+      "noc:link:degrade:<f>x[:<sel>],soft:flip:<rate>");
   return 2;
 }
 
@@ -75,6 +88,7 @@ int cmd_simulate(const xutil::Flags& flags) {
   std::size_t nz = 512;
   xutil::parse_dims(flags.get("size", "512^3"), &nx, &ny, &nz);
   const auto radix = static_cast<unsigned>(flags.get_int("radix", 8));
+  flags.reject_unused();
   const xfft::Dims3 dims{nx, ny, nz};
   const auto r = xsim::FftPerfModel(cfg).analyze_fft(dims, radix);
 
@@ -98,6 +112,7 @@ int cmd_roofline(const xutil::Flags& flags) {
   std::size_t ny = 512;
   std::size_t nz = 512;
   xutil::parse_dims(flags.get("size", "512^3"), &nx, &ny, &nz);
+  flags.reject_unused();
   const auto report =
       xsim::FftPerfModel(cfg).analyze_fft(xfft::Dims3{nx, ny, nz});
   const auto series = xroof::fft_series(cfg, report);
@@ -113,7 +128,8 @@ int cmd_roofline(const xutil::Flags& flags) {
   return 0;
 }
 
-int cmd_machine(const xutil::Flags& flags) {
+/// Builds the scaled custom configuration shared by `machine` and `faults`.
+xsim::MachineConfig scaled_config_from_flags(const xutil::Flags& flags) {
   xsim::MachineConfig c;
   const auto clusters = static_cast<std::size_t>(flags.get_int("clusters", 8));
   c.name = "custom-" + std::to_string(clusters);
@@ -123,8 +139,8 @@ int cmd_machine(const xutil::Flags& flags) {
       static_cast<std::size_t>(flags.get_int("modules",
                                              static_cast<std::int64_t>(clusters)));
   c.butterfly_levels = static_cast<unsigned>(flags.get_int("bf", 0));
-  const unsigned full = xutil::log2_exact(c.clusters) +
-                        xutil::log2_exact(c.memory_modules);
+  const unsigned full = xutil::log2_exact(c.clusters, "--clusters") +
+                        xutil::log2_exact(c.memory_modules, "--modules");
   c.mot_levels = static_cast<unsigned>(
       flags.get_int("mot", c.butterfly_levels == 0
                                ? full
@@ -134,12 +150,18 @@ int cmd_machine(const xutil::Flags& flags) {
   c.cache_bytes_per_mm =
       static_cast<std::uint64_t>(flags.get_int("cache-kb", 32)) * 1024;
   c.validate();
+  return c;
+}
+
+int cmd_machine(const xutil::Flags& flags) {
+  const xsim::MachineConfig c = scaled_config_from_flags(flags);
 
   std::size_t nx = 64;
   std::size_t ny = 64;
   std::size_t nz = 1;
   xutil::parse_dims(flags.get("size", "64x64"), &nx, &ny, &nz);
   const auto radix = static_cast<unsigned>(flags.get_int("radix", 8));
+  flags.reject_unused();
 
   xsim::Machine machine(c);
   const auto r = xsim::run_fft_on_machine(machine, xfft::Dims3{nx, ny, nz},
@@ -170,6 +192,7 @@ int cmd_fft(const xutil::Flags& flags) {
   const xfft::Dims3 dims{nx, ny, nz};
   const auto dir = flags.has("inverse") ? xfft::Direction::kInverse
                                         : xfft::Direction::kForward;
+  flags.reject_unused();
   std::vector<xfft::Cf> data(dims.total());
   xutil::Pcg32 rng(1);
   for (auto& v : data) {
@@ -188,6 +211,138 @@ int cmd_fft(const xutil::Flags& flags) {
   return 0;
 }
 
+std::string fault_summary(const xfault::FaultMap& map) {
+  return std::to_string(map.dead_tcu_count()) + " dead TCUs (" +
+         std::to_string(map.shape.clusters - map.live_clusters()) +
+         " whole clusters), " + std::to_string(map.failed_channel_count()) +
+         " failed DRAM channels, " + std::to_string(map.degraded_link_count()) +
+         " degraded NoC links, soft-flip rate " +
+         std::to_string(map.soft_flip_rate);
+}
+
+/// Host-side resilience harness: runs the soft-error injection + checksum
+/// recovery FFT and verifies the result against a clean reference plan.
+/// Returns 0 when the recovered output matches the reference.
+int run_resilience_harness(xfft::Dims3 dims, double soft_rate,
+                           std::uint64_t seed) {
+  std::vector<xfft::Cf> data(dims.total());
+  xutil::Pcg32 rng(seed);
+  for (auto& v : data) {
+    v = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+  std::vector<xfft::Cf> reference = data;
+  xfft::PlanND<float>(dims, xfft::Direction::kForward)
+      .execute(std::span<xfft::Cf>(reference));
+
+  xfault::ResilienceOptions opt;
+  opt.soft_flip_rate = soft_rate;
+  opt.seed = seed;
+  const auto rep = xfault::resilient_fft(std::span<xfft::Cf>(data), dims,
+                                         xfft::Direction::kForward, opt);
+
+  double diff2 = 0.0;
+  double ref2 = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto d = data[i] - reference[i];
+    diff2 += static_cast<double>(d.real()) * d.real() +
+             static_cast<double>(d.imag()) * d.imag();
+    ref2 += static_cast<double>(reference[i].real()) * reference[i].real() +
+            static_cast<double>(reference[i].imag()) * reference[i].imag();
+  }
+  const double rel = ref2 > 0.0 ? std::sqrt(diff2 / ref2) : std::sqrt(diff2);
+  const bool pass = rep.ok() && rel < 1e-3;
+  std::printf(
+      "soft errors: %llu injected, %llu detected, %llu slabs recomputed, "
+      "%llu unrecovered\n"
+      "checksum vs reference: rel L2 error %.3g -> %s\n",
+      static_cast<unsigned long long>(rep.flips_injected),
+      static_cast<unsigned long long>(rep.errors_detected),
+      static_cast<unsigned long long>(rep.rows_recomputed),
+      static_cast<unsigned long long>(rep.retries_exhausted), rel,
+      pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+int cmd_faults(const xutil::Flags& flags) {
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto plan = xfault::FaultPlan::parse(
+      flags.get("faults", "cluster:kill:1,dram:chan:1,soft:flip:1e-4"), seed);
+
+  if (flags.has("config")) {
+    // Paper-scale configuration: analytic model, derated by the surviving
+    // capacity of the materialized fault map.
+    const auto cfg = config_by_name(flags.get("config", "64k"));
+    std::size_t nx = 512;
+    std::size_t ny = 512;
+    std::size_t nz = 512;
+    xutil::parse_dims(flags.get("size", "512^3"), &nx, &ny, &nz);
+    const auto radix = static_cast<unsigned>(flags.get_int("radix", 8));
+    flags.reject_unused();
+    const xfft::Dims3 dims{nx, ny, nz};
+
+    const auto map = xfault::materialize(plan, xsim::fault_shape(cfg));
+    const auto derate = xsim::FaultDerating::from_fault_map(map);
+    const auto healthy = xsim::FftPerfModel(cfg).analyze_fft(dims, radix);
+    const auto degraded =
+        xsim::FftPerfModel(cfg, derate).analyze_fft(dims, radix);
+
+    xutil::Table t("DEGRADED FFT ON " + cfg.name + ", " +
+                   xutil::format_dims3(nx, ny, nz));
+    t.set_header({"Phase", "ms", "bound", "GFLOPS (actual)"});
+    for (const auto& ph : degraded.phases) {
+      t.add_row({ph.name, xutil::format_fixed(ph.seconds * 1e3, 3),
+                 xsim::bound_name(ph.bound),
+                 xutil::format_gflops(ph.actual_gflops)});
+    }
+    t.add_row({"TOTAL", xutil::format_fixed(degraded.total_seconds * 1e3, 3),
+               "", xutil::format_gflops(degraded.standard_gflops) +
+                       " (5NlogN)"});
+    t.add_note("faults: " + fault_summary(map));
+    t.add_note("healthy: " + xutil::format_gflops(healthy.standard_gflops) +
+               " GFLOPS -> retained " +
+               xutil::format_fixed(100.0 * degraded.standard_gflops /
+                                       healthy.standard_gflops,
+                                   1) +
+               "%");
+    std::fputs(t.render().c_str(), stdout);
+    return run_resilience_harness(xfft::Dims3{64, 16, 1}, plan.soft_flip_rate,
+                                  seed);
+  }
+
+  // Scaled configuration: the cycle-level machine degrades in place.
+  const xsim::MachineConfig c = scaled_config_from_flags(flags);
+  std::size_t nx = 64;
+  std::size_t ny = 64;
+  std::size_t nz = 1;
+  xutil::parse_dims(flags.get("size", "64x64"), &nx, &ny, &nz);
+  const auto radix = static_cast<unsigned>(flags.get_int("radix", 8));
+  flags.reject_unused();
+  const xfft::Dims3 dims{nx, ny, nz};
+
+  const auto map = xfault::materialize(plan, xsim::fault_shape(c));
+  xsim::Machine machine(c);
+  machine.set_faults(map);
+  const auto r = xsim::run_fft_on_machine(machine, dims, radix);
+
+  xutil::Table t("DEGRADED CYCLE-LEVEL RUN ON " + c.name + " (" +
+                 xutil::format_dims3(nx, ny, nz) + ")");
+  t.set_header({"Phase", "cycles", "hit rate", "remapped", "truncated"});
+  for (const auto& ph : r.phases) {
+    t.add_row({ph.name, std::to_string(ph.result.cycles),
+               xutil::format_fixed(ph.result.cache_hit_rate(), 2),
+               std::to_string(ph.result.remapped_fills),
+               ph.result.truncated ? "YES" : "no"});
+  }
+  t.add_row({"TOTAL", std::to_string(r.total_cycles), "", "",
+             r.truncated ? "YES" : "no"});
+  t.add_note("faults: " + fault_summary(map));
+  t.add_note("at 3.3 GHz: " +
+             xutil::format_fixed(r.standard_gflops(dims, 3.3e9), 2) +
+             " GFLOPS (5NlogN)");
+  std::fputs(t.render().c_str(), stdout);
+  return run_resilience_harness(dims, plan.soft_flip_rate, seed);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,11 +350,15 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const xutil::Flags flags(argc - 2, argv + 2);
   try {
-    if (cmd == "configs") return cmd_configs();
+    if (cmd == "configs") {
+      flags.reject_unused();
+      return cmd_configs();
+    }
     if (cmd == "simulate") return cmd_simulate(flags);
     if (cmd == "roofline") return cmd_roofline(flags);
     if (cmd == "machine") return cmd_machine(flags);
     if (cmd == "fft") return cmd_fft(flags);
+    if (cmd == "faults") return cmd_faults(flags);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage();
   } catch (const xutil::Error& e) {
