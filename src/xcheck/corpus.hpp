@@ -1,0 +1,52 @@
+// Replayable reproducer corpus for xcheck.
+//
+// A failing (config, dims, seed) tuple, once shrunk, is written to a corpus
+// directory as a small key=value text file. Corpus entries are replayable
+// by `xmtfft_cli check --replay <dir>` and by the ctest `differential`
+// targets, turning every bug the fuzzer ever found into a permanent
+// regression guard. Serialization is canonical: the same TrialCase always
+// produces byte-identical text and the same (content-hashed) filename, so
+// two runs of the fuzzer with one seed produce identical corpora.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xcheck/differential.hpp"
+
+namespace xcheck {
+
+/// Canonical text form of a trial (round-trips through parse_trial).
+[[nodiscard]] std::string serialize_trial(const TrialCase& tcase,
+                                          const std::string& reason = "");
+
+/// Parses the canonical form; throws xutil::Error naming the offending
+/// line on malformed input. The optional `reason=` line is ignored.
+[[nodiscard]] TrialCase parse_trial(const std::string& text);
+
+/// Deterministic filename for a trial: "xc-<fnv1a64 of the serialized
+/// case>.repro" (the reason line is excluded from the hash).
+[[nodiscard]] std::string corpus_filename(const TrialCase& tcase);
+
+/// Writes `tcase` into `dir` (created if missing). Returns the full path.
+std::string write_corpus_entry(const std::string& dir, const TrialCase& tcase,
+                               const std::string& reason);
+
+/// One replayed corpus entry.
+struct ReplayEntry {
+  std::string path;
+  TrialResult result;
+  std::string parse_error;  ///< nonempty: file malformed, not replayed
+
+  [[nodiscard]] bool pass() const {
+    return parse_error.empty() && result.pass();
+  }
+};
+
+/// Replays every *.repro file in `dir` (sorted by name). A missing
+/// directory is an empty corpus, not an error.
+[[nodiscard]] std::vector<ReplayEntry> replay_corpus(
+    const std::string& dir, const Envelope& env,
+    const DifferentialOptions& opt = {});
+
+}  // namespace xcheck

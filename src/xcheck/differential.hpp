@@ -1,0 +1,136 @@
+// Cross-fidelity differential validation (the xcheck tentpole).
+//
+// The design's central claim is that the batched analytic model
+// (xsim::FftPerfModel) consumes the *same* xfft::KernelPhase descriptors as
+// the cycle-level machine and predicts the same performance structure. This
+// module enforces that claim: a TrialCase draws a seeded random machine
+// configuration (TCU/cluster/channel counts, optional xfault deratings) and
+// a small FFT size, runs the identical phase list through both fidelities,
+// and checks every phase against an agreement envelope:
+//
+//   - cycles inside the model-derived [best, worst] bracket (see
+//     tolerances.hpp for the bracket definition and margins);
+//   - DRAM traffic conservation (the machine cannot fetch more than one
+//     cache line per access);
+//   - bound classification: when the model names a decisively binding
+//     resource, the machine's utilization argmax must agree.
+//
+// Mismatches come back as a structured, deterministically-rendered report;
+// the shrinker (shrink.hpp) minimizes failing cases and the fuzzer
+// (fuzzer.hpp) drives seeded campaigns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xcheck/tolerances.hpp"
+#include "xfft/types.hpp"
+#include "xsim/config.hpp"
+#include "xutil/rng.hpp"
+
+namespace xcheck {
+
+/// One differential trial: a machine configuration, an FFT size, a fault
+/// spec and the seed that drew them. Everything needed to replay the trial
+/// is in this struct (corpus.hpp serializes it).
+struct TrialCase {
+  std::uint64_t seed = 1;
+
+  // Machine shape (to_config() derives the remaining MachineConfig fields).
+  std::uint64_t clusters = 8;
+  std::uint64_t modules = 8;
+  unsigned mms_per_ctrl = 1;
+  unsigned butterfly_levels = 0;
+  unsigned fpus = 1;
+  std::uint64_t cache_kb = 32;
+
+  // Workload.
+  std::size_t nx = 64;
+  std::size_t ny = 1;
+  std::size_t nz = 1;
+  unsigned radix = 8;
+
+  /// xfault::FaultPlan spec ("" = healthy machine).
+  std::string faults;
+
+  /// Indices into build_fft_phases(dims(), radix) to run; empty = all.
+  /// The shrinker narrows this to the minimal failing subset.
+  std::vector<std::size_t> phase_mask;
+
+  [[nodiscard]] xfft::Dims3 dims() const { return {nx, ny, nz}; }
+  [[nodiscard]] xsim::MachineConfig to_config() const;
+  /// One-line deterministic description (stable across platforms).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Draws a random valid trial. Deterministic in the rng stream; the drawn
+/// case records `seed` for fault materialization.
+[[nodiscard]] TrialCase draw_trial(xutil::Pcg32& rng, std::uint64_t seed);
+
+/// Agreement envelope; defaults are the calibrated claims in tolerances.hpp.
+struct Envelope {
+  double lower_margin = tol::kEnvelopeLowerMargin;
+  double upper_margin = tol::kEnvelopeUpperMargin;
+  double floor_cycles = tol::kEnvelopeFloorCycles;
+  double line_amp_slack = tol::kEnvelopeLineAmpSlack;
+  double bound_dominance = tol::kEnvelopeBoundDominance;
+  double bound_hit_rate_max = tol::kEnvelopeBoundHitRateMax;
+};
+
+struct DifferentialOptions {
+  /// Canary hook: multiplies every analytic per-resource cycle count, the
+  /// way a mis-calibrated constant in xsim/calibration.hpp would. 1.0 = the
+  /// faithful model. The self-test in tests/check proves an intentionally
+  /// broken calibration (e.g. a wildly optimistic DRAM efficiency) is
+  /// caught and shrunk; it is also exposed as `xmtfft_cli check --canary`.
+  double calibration_scale = 1.0;
+};
+
+/// Verdict for one phase run through both fidelities.
+struct PhaseCheck {
+  std::string name;
+  std::size_t index = 0;          ///< index in the full phase list
+  double machine_cycles = 0.0;
+  double model_cycles = 0.0;      ///< analytic prediction (scaled by canary)
+  double best_cycles = 0.0;       ///< lower bracket (before margin)
+  double worst_cycles = 0.0;      ///< upper bracket (before margin)
+  double machine_dram_bytes = 0.0;
+  double model_dram_bytes = 0.0;  ///< analytic nominal traffic
+  double max_dram_bytes = 0.0;    ///< conservation limit (before slack)
+  std::string model_bound;        ///< bound_name of the analytic bound
+  std::string machine_top;        ///< machine utilization argmax (fpu/lsu/dram)
+  bool bound_checked = false;     ///< dominance gate passed, bound enforced
+
+  bool cycles_low_ok = true;
+  bool cycles_high_ok = true;
+  bool dram_ok = true;
+  bool bound_ok = true;
+
+  [[nodiscard]] bool pass() const {
+    return cycles_low_ok && cycles_high_ok && dram_ok && bound_ok;
+  }
+  /// "" when passing, otherwise a one-line mismatch description.
+  [[nodiscard]] std::string reason() const;
+};
+
+/// Result of one trial: per-phase verdicts, or an `error` when the case
+/// could not run at all (invalid config / fault plan kills everything).
+struct TrialResult {
+  TrialCase tcase;
+  std::vector<PhaseCheck> phases;
+  std::string error;
+
+  [[nodiscard]] bool pass() const;
+  [[nodiscard]] std::string first_reason() const;
+};
+
+/// Runs one trial through both fidelities. Deterministic.
+[[nodiscard]] TrialResult run_trial(const TrialCase& tcase,
+                                    const Envelope& env,
+                                    const DifferentialOptions& opt = {});
+
+/// Deterministic multi-line rendering of a trial (the mismatch report).
+[[nodiscard]] std::string render_trial(const TrialResult& result);
+
+}  // namespace xcheck

@@ -1,0 +1,89 @@
+#include "xcheck/fuzzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "xcheck/corpus.hpp"
+
+namespace xcheck {
+
+namespace {
+
+std::string fmt2(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+FuzzSummary run_fuzz(const FuzzOptions& options) {
+  FuzzSummary s;
+  s.options = options;
+  s.report = "xcheck fuzz: seed=" + std::to_string(options.seed) +
+             " trials=" + std::to_string(options.trials) + "\n";
+
+  // Bracket-tightness statistics across all passing phases: how much of the
+  // [best, worst] window the machine actually uses. A collapsing range would
+  // mean the envelope could be tightened; a range hugging the margins means
+  // it cannot.
+  double min_vs_best = std::numeric_limits<double>::infinity();
+  double max_vs_worst = 0.0;
+  std::uint64_t phases_checked = 0;
+
+  for (unsigned i = 0; i < options.trials; ++i) {
+    // Stream split: every trial draws from its own statistically independent
+    // stream, so inserting a new draw in draw_trial never perturbs later
+    // trials of the same campaign seed.
+    xutil::Pcg32 rng(options.seed, /*stream=*/i);
+    const TrialCase tcase = draw_trial(rng, options.seed + i);
+    const TrialResult r = run_trial(tcase, options.envelope, options.diff);
+    ++s.trials_run;
+    for (const auto& p : r.phases) {
+      ++phases_checked;
+      if (p.best_cycles > 0.0) {
+        min_vs_best = std::min(min_vs_best, p.machine_cycles / p.best_cycles);
+      }
+      if (p.worst_cycles > 0.0) {
+        max_vs_worst =
+            std::max(max_vs_worst, p.machine_cycles / p.worst_cycles);
+      }
+    }
+    if (r.pass()) continue;
+
+    ++s.trials_failed;
+    FuzzFailure f;
+    f.original = tcase;
+    f.shrunk = shrink_trial(tcase, options.envelope, options.diff);
+    if (!options.corpus_dir.empty()) {
+      f.corpus_path =
+          write_corpus_entry(options.corpus_dir, f.shrunk.minimized,
+                             f.shrunk.result.first_reason());
+    }
+    s.report += "FAIL trial " + std::to_string(i) + ": " +
+                tcase.describe() + "\n";
+    s.report += "  shrunk (" + std::to_string(f.shrunk.moves_accepted) + "/" +
+                std::to_string(f.shrunk.moves_tried) + " moves) to:\n";
+    s.report += render_trial(f.shrunk.result);
+    if (!f.corpus_path.empty()) {
+      // Filename only: the report must be byte-identical across runs no
+      // matter where the corpus directory lives.
+      s.report +=
+          "  reproducer: " + corpus_filename(f.shrunk.minimized) + "\n";
+    }
+    s.failures.push_back(std::move(f));
+  }
+
+  s.report += "checked " + std::to_string(phases_checked) + " phases across " +
+              std::to_string(s.trials_run) + " trials, " +
+              std::to_string(s.trials_failed) + " failed\n";
+  if (phases_checked > 0) {
+    s.report += "bracket use: machine/best >= " + fmt2(min_vs_best) +
+                ", machine/worst <= " + fmt2(max_vs_worst) + "\n";
+  }
+  s.report += s.pass() ? "=> PASS\n" : "=> FAIL\n";
+  return s;
+}
+
+}  // namespace xcheck

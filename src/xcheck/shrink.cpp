@@ -1,0 +1,137 @@
+#include "xcheck/shrink.hpp"
+
+#include <vector>
+
+namespace xcheck {
+
+namespace {
+
+/// Applies one structural reduction (move `k`) to `t`; returns false when
+/// the move does not apply. Moves are ordered most-simplifying first.
+bool apply_move(TrialCase& t, unsigned k) {
+  switch (k) {
+    case 0:  // drop the fault spec entirely
+      if (t.faults.empty()) return false;
+      t.faults.clear();
+      return true;
+    case 1:  // flatten to 2-D
+      if (t.nz <= 1) return false;
+      t.nz = 1;
+      return true;
+    case 2:  // flatten to 1-D
+      if (t.ny <= 1) return false;
+      t.ny = 1;
+      return true;
+    case 3:  // halve the row length (keep enough points for the radix)
+      if (t.nx / 2 < 2 * t.radix || t.nx / 2 < 16) return false;
+      t.nx /= 2;
+      return true;
+    case 4:  // halve the column count
+      if (t.ny <= 1 || (t.ny / 2 > 1 && t.ny / 2 < 16)) return false;
+      t.ny = t.ny > 16 ? t.ny / 2 : 1;
+      return true;
+    case 5:  // strip the butterfly section (pure MoT is the simpler NoC)
+      if (t.butterfly_levels == 0) return false;
+      t.butterfly_levels = 0;
+      return true;
+    case 6:  // halve the machine (clusters and modules together)
+      if (t.clusters <= 2 || t.modules <= 2) return false;
+      if ((std::uint64_t{1} << t.butterfly_levels) > t.clusters / 2) {
+        return false;  // butterfly would outgrow the halved cluster count
+      }
+      t.clusters /= 2;
+      t.modules /= 2;
+      if (t.mms_per_ctrl > t.modules) t.mms_per_ctrl = 1;
+      return true;
+    case 7:  // one MM per controller
+      if (t.mms_per_ctrl == 1) return false;
+      t.mms_per_ctrl = 1;
+      return true;
+    case 8:  // one FPU per cluster
+      if (t.fpus == 1) return false;
+      t.fpus = 1;
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr unsigned kMoveCount = 9;
+
+}  // namespace
+
+ShrinkOutcome shrink_trial(const TrialCase& failing, const Envelope& env,
+                           const DifferentialOptions& opt) {
+  ShrinkOutcome out;
+  out.minimized = failing;
+  // Structural moves assume the failure is reproducible on the full phase
+  // list (masks name indices into a list whose shape the moves change).
+  out.minimized.phase_mask.clear();
+  out.result = run_trial(out.minimized, env, opt);
+  if (out.result.pass()) {
+    // Not reproducible without the original mask — keep the input verbatim.
+    out.minimized = failing;
+    out.result = run_trial(out.minimized, env, opt);
+    return out;
+  }
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (unsigned k = 0; k < kMoveCount; ++k) {
+      TrialCase candidate = out.minimized;
+      if (!apply_move(candidate, k)) continue;
+      ++out.moves_tried;
+      TrialResult r = run_trial(candidate, env, opt);
+      // Accept only genuine envelope mismatches: a candidate that fails to
+      // *run* (invalid shape, fault extinction) is not a smaller reproducer.
+      if (r.error.empty() && !r.pass()) {
+        out.minimized = std::move(candidate);
+        out.result = std::move(r);
+        ++out.moves_accepted;
+        progress = true;
+      }
+    }
+  }
+
+  // Narrow to the smallest failing phase subset: each failing phase alone
+  // (cold-started, so the verdict can differ from the full warm-cache run),
+  // then the prefix up to the first failure, which preserves cache history.
+  std::vector<std::size_t> failing_idx;
+  for (const auto& p : out.result.phases) {
+    if (!p.pass()) failing_idx.push_back(p.index);
+  }
+  if (out.result.phases.size() > 1 && !failing_idx.empty()) {
+    for (const std::size_t idx : failing_idx) {
+      TrialCase candidate = out.minimized;
+      candidate.phase_mask = {idx};
+      ++out.moves_tried;
+      TrialResult r = run_trial(candidate, env, opt);
+      if (r.error.empty() && !r.pass()) {
+        out.minimized = std::move(candidate);
+        out.result = std::move(r);
+        ++out.moves_accepted;
+        return out;
+      }
+    }
+    if (failing_idx.front() > 0) {
+      TrialCase candidate = out.minimized;
+      candidate.phase_mask.clear();
+      for (std::size_t i = 0; i <= failing_idx.front(); ++i) {
+        candidate.phase_mask.push_back(i);
+      }
+      if (candidate.phase_mask.size() < out.result.phases.size()) {
+        ++out.moves_tried;
+        TrialResult r = run_trial(candidate, env, opt);
+        if (r.error.empty() && !r.pass()) {
+          out.minimized = std::move(candidate);
+          out.result = std::move(r);
+          ++out.moves_accepted;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xcheck

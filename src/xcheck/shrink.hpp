@@ -1,0 +1,31 @@
+// Greedy reproducer minimization.
+//
+// Given a failing TrialCase, shrink_trial() greedily applies
+// failure-preserving reductions until a fixpoint: structural moves first
+// (drop the fault spec, flatten and halve the dims, halve the machine,
+// strip the NoC's butterfly section, drop extra FPUs), then narrows the
+// phase mask to the smallest failing subset — typically a single phase.
+// Every accepted move re-runs the differential check, so the minimized
+// tuple is failing by construction, and the whole procedure is
+// deterministic (no randomness: moves are tried in a fixed order).
+#pragma once
+
+#include "xcheck/differential.hpp"
+
+namespace xcheck {
+
+struct ShrinkOutcome {
+  TrialCase minimized;
+  TrialResult result;    ///< verdict of the minimized case (always failing)
+  unsigned moves_tried = 0;
+  unsigned moves_accepted = 0;
+};
+
+/// Minimizes `failing` under the same envelope/options that made it fail.
+/// If `failing` actually passes, returns it unchanged with its (passing)
+/// result — callers should only hand in failures.
+[[nodiscard]] ShrinkOutcome shrink_trial(const TrialCase& failing,
+                                         const Envelope& env,
+                                         const DifferentialOptions& opt = {});
+
+}  // namespace xcheck

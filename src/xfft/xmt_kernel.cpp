@@ -26,6 +26,7 @@ std::vector<KernelPhase> build_fft_phases(Dims3 dims, unsigned max_radix) {
       ph.iter = static_cast<int>(s);
       ph.radix = r;
       ph.rotation = last && rank >= 2;
+      ph.block = block;
       ph.name = "dim" + std::to_string(dim) + ".iter" + std::to_string(s) +
                 (ph.rotation ? "+rot" : "");
       ph.threads = n / r;

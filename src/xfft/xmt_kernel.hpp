@@ -32,6 +32,11 @@ struct KernelPhase {
   unsigned radix = 8;   ///< butterfly radix of this iteration
   bool rotation = false;  ///< true when fused with the axis rotation
   std::uint64_t threads = 0;  ///< virtual threads (= points / radix)
+  /// Butterfly span entering this iteration: the row length divided by the
+  /// radices of all previous iterations of the same dimension. Carried here
+  /// so consumers (e.g. the cycle-level traffic generator) reconstruct the
+  /// access pattern without re-deriving the planner's radix schedule.
+  std::uint64_t block = 0;
 
   // Totals over all threads of the phase:
   std::uint64_t data_word_reads = 0;   ///< 4-byte data words read

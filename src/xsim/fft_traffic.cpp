@@ -1,6 +1,5 @@
 #include "xsim/fft_traffic.hpp"
 
-#include "xfft/plan1d.hpp"
 #include "xfft/twiddle.hpp"
 #include "xutil/check.hpp"
 
@@ -28,12 +27,14 @@ ProgramGenerator make_fft_phase_generator(const MachineConfig& config,
   XU_CHECK_MSG(len > 1, "phase dimension has length 1");
   const unsigned r = phase.radix;
 
-  // Reconstruct this iteration's block length from the stage radices.
-  const auto radices = xfft::choose_radices(len, 8);
-  XU_CHECK(static_cast<std::size_t>(phase.iter) < radices.size());
-  std::size_t block = len;
-  for (int s = 0; s < phase.iter; ++s) block /= radices[static_cast<std::size_t>(s)];
-  XU_CHECK(radices[static_cast<std::size_t>(phase.iter)] == r);
+  // The phase carries its butterfly span (build_fft_phases fills it for any
+  // radix schedule — re-deriving it here with choose_radices() silently
+  // assumed the paper's max radix of 8 and broke radix-2/4 runs).
+  const auto block = static_cast<std::size_t>(phase.block);
+  XU_CHECK_MSG(block >= r && block % r == 0 && len % block == 0,
+               phase.name << ": block " << block
+                          << " inconsistent with radix " << r << " over row "
+                          << len);
   const std::size_t sub = block / r;
 
   const std::size_t n = dims.total();

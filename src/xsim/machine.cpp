@@ -78,6 +78,16 @@ xfault::MachineShape fault_shape(const MachineConfig& config) {
 Machine::Machine(MachineConfig config, MachineOptions opt)
     : config_(std::move(config)), opt_(opt) {
   config_.validate();
+  // The butterfly router permutes butterfly_levels bits of a link index
+  // that spans the clusters, so deeper butterflies than log2(clusters)
+  // would address links that do not exist. xnoc::validate() only bounds
+  // the total level split; the cycle-level machine needs this too.
+  XU_CHECK_MSG(std::uint64_t{1} << config_.butterfly_levels <=
+                   config_.clusters,
+               config_.name << ": " << config_.butterfly_levels
+                            << " butterfly levels need at least "
+                            << (std::uint64_t{1} << config_.butterfly_levels)
+                            << " clusters, have " << config_.clusters);
   reset_caches();
 }
 

@@ -1,0 +1,105 @@
+// Corpus round-trip and replay: serialization is canonical and total
+// (parse(serialize(t)) == t), filenames are content hashes, malformed
+// entries are reported rather than crashing the replay, and the committed
+// corpus in tests/check/corpus passes against the faithful model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "xcheck/corpus.hpp"
+#include "xutil/check.hpp"
+#include "xutil/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using xcheck::TrialCase;
+
+TEST(XCheckCorpus, SerializeParseRoundTrips) {
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    xutil::Pcg32 rng(5, s);
+    const TrialCase t = xcheck::draw_trial(rng, 5 + s);
+    const TrialCase back = xcheck::parse_trial(xcheck::serialize_trial(t));
+    EXPECT_EQ(back.describe(), t.describe());
+    EXPECT_EQ(back.seed, t.seed);
+    EXPECT_EQ(back.faults, t.faults);
+    EXPECT_EQ(back.phase_mask, t.phase_mask);
+  }
+}
+
+TEST(XCheckCorpus, PhaseMaskAndReasonRoundTrip) {
+  TrialCase t;
+  t.phase_mask = {0, 3};
+  const auto text = xcheck::serialize_trial(t, "cycles above envelope");
+  EXPECT_NE(text.find("reason=cycles above envelope"), std::string::npos);
+  const TrialCase back = xcheck::parse_trial(text);
+  EXPECT_EQ(back.phase_mask, t.phase_mask);
+}
+
+TEST(XCheckCorpus, FilenameIsContentHashedAndReasonFree) {
+  TrialCase t;
+  const auto name = xcheck::corpus_filename(t);
+  EXPECT_EQ(name.substr(0, 3), "xc-");
+  EXPECT_EQ(name.substr(name.size() - 6), ".repro");
+  EXPECT_EQ(name, xcheck::corpus_filename(t));  // deterministic
+  TrialCase other = t;
+  other.nx *= 2;
+  EXPECT_NE(name, xcheck::corpus_filename(other));
+}
+
+TEST(XCheckCorpus, MalformedEntryRejectedWithLine) {
+  EXPECT_THROW((void)xcheck::parse_trial("version=1\nclusters=zebra\n"),
+               xutil::Error);
+  EXPECT_THROW((void)xcheck::parse_trial("version=99\n"), xutil::Error);
+}
+
+TEST(XCheckCorpus, ReplayOfMissingDirIsEmptyNotError) {
+  const auto entries = xcheck::replay_corpus(
+      ::testing::TempDir() + "/xcheck_no_such_dir", xcheck::Envelope{});
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST(XCheckCorpus, WriteThenReplay) {
+  const std::string dir = ::testing::TempDir() + "/xcheck_corpus_rt";
+  fs::remove_all(dir);
+  TrialCase t;  // default case passes on the faithful model
+  const auto path = xcheck::write_corpus_entry(dir, t, "unit test");
+  EXPECT_TRUE(fs::exists(path));
+
+  // A malformed sibling must surface as parse_error, not abort the replay.
+  std::ofstream(dir + "/xc-bad.repro") << "not a reproducer\n";
+
+  const auto entries = xcheck::replay_corpus(dir, xcheck::Envelope{});
+  ASSERT_EQ(entries.size(), 2u);  // sorted: xc-<hash> vs xc-bad
+  unsigned ok = 0, bad = 0;
+  for (const auto& e : entries) {
+    if (e.parse_error.empty()) {
+      EXPECT_TRUE(e.result.pass());
+      ++ok;
+    } else {
+      ++bad;
+    }
+  }
+  EXPECT_EQ(ok, 1u);
+  EXPECT_EQ(bad, 1u);
+  fs::remove_all(dir);
+}
+
+// The committed regression corpus (seeded from a canary-shrunk reproducer)
+// must pass against the faithful model: entries are agreement guards, and
+// any future envelope/model change that breaks one is a real regression.
+TEST(XCheckCorpus, CommittedCorpusPasses) {
+  const char* dir = XCHECK_COMMITTED_CORPUS_DIR;
+  const auto entries = xcheck::replay_corpus(dir, xcheck::Envelope{});
+  ASSERT_FALSE(entries.empty()) << "committed corpus missing at " << dir;
+  for (const auto& e : entries) {
+    EXPECT_TRUE(e.parse_error.empty()) << e.path << ": " << e.parse_error;
+    EXPECT_TRUE(e.result.pass()) << e.path << "\n"
+                                 << xcheck::render_trial(e.result);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Determinism (ISSUE 2 satellite): two runs of the fuzzer with the same
+// seed must produce byte-identical mismatch reports and byte-identical
+// corpus entries — on pass *and* on failure (forced via the calibration
+// canary). Without this property a reproducer corpus is noise.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "xcheck/fuzzer.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// filename -> full file bytes for every *.repro in dir.
+std::map<std::string, std::string> read_corpus(const std::string& dir) {
+  std::map<std::string, std::string> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() != ".repro") continue;
+    std::ifstream in(e.path(), std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    out[e.path().filename().string()] = body.str();
+  }
+  return out;
+}
+
+TEST(XCheckDeterminism, PassingCampaignReportIsByteIdentical) {
+  xcheck::FuzzOptions opt;
+  opt.seed = 3;
+  opt.trials = 40;
+  const auto a = xcheck::run_fuzz(opt);
+  const auto b = xcheck::run_fuzz(opt);
+  EXPECT_TRUE(a.pass()) << a.report;
+  EXPECT_EQ(a.report, b.report);
+}
+
+TEST(XCheckDeterminism, FailingCampaignReportAndCorpusAreByteIdentical) {
+  const std::string base = ::testing::TempDir();
+  const std::string dir_a = base + "/xcheck_det_a";
+  const std::string dir_b = base + "/xcheck_det_b";
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+
+  xcheck::FuzzOptions opt;
+  opt.seed = 1;
+  opt.trials = 12;
+  opt.diff.calibration_scale = 0.15;  // canary: force envelope failures
+
+  opt.corpus_dir = dir_a;
+  const auto a = xcheck::run_fuzz(opt);
+  opt.corpus_dir = dir_b;
+  const auto b = xcheck::run_fuzz(opt);
+
+  ASSERT_FALSE(a.pass());
+  // The report embeds corpus *filenames*, never the directory, so the two
+  // reports must match byte for byte despite different corpus_dir values.
+  EXPECT_EQ(a.report, b.report);
+
+  const auto corpus_a = read_corpus(dir_a);
+  const auto corpus_b = read_corpus(dir_b);
+  ASSERT_FALSE(corpus_a.empty());
+  EXPECT_EQ(corpus_a, corpus_b);  // same filenames, same bytes
+
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
+}  // namespace

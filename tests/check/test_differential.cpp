@@ -1,0 +1,127 @@
+// Cross-fidelity differential validation: the seeded fuzzer's campaign
+// passes on the faithful model, the intentionally mis-calibrated model
+// (canary) is caught and shrunk to a tiny reproducer, and the per-trial
+// machinery (draw, envelope, shrink) behaves deterministically.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xcheck/differential.hpp"
+#include "xcheck/fuzzer.hpp"
+#include "xcheck/shrink.hpp"
+#include "xutil/rng.hpp"
+
+namespace {
+
+using xcheck::DifferentialOptions;
+using xcheck::Envelope;
+using xcheck::TrialCase;
+
+TEST(XCheckDifferential, DefaultTrialPassesEnvelope) {
+  const TrialCase t;  // 8x8 machine, 64-point row, radix 8, healthy
+  const auto r = xcheck::run_trial(t, Envelope{});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.pass()) << xcheck::render_trial(r);
+  EXPECT_FALSE(r.phases.empty());
+  for (const auto& p : r.phases) {
+    EXPECT_GT(p.machine_cycles, 0.0);
+    EXPECT_GT(p.model_cycles, 0.0);
+    EXPECT_LE(p.best_cycles, p.worst_cycles);
+    EXPECT_LE(p.machine_dram_bytes,
+              p.max_dram_bytes * Envelope{}.line_amp_slack);
+  }
+}
+
+TEST(XCheckDifferential, DrawTrialIsDeterministicPerStream) {
+  xutil::Pcg32 a(42, 7);
+  xutil::Pcg32 b(42, 7);
+  const auto ta = xcheck::draw_trial(a, 42);
+  const auto tb = xcheck::draw_trial(b, 42);
+  EXPECT_EQ(ta.describe(), tb.describe());
+  xutil::Pcg32 c(42, 8);  // different stream must draw a different case
+  bool differs = false;
+  for (int i = 0; i < 8 && !differs; ++i) {
+    differs = xcheck::draw_trial(c, 42).describe() != ta.describe();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(XCheckDifferential, DrawnTrialsAreValidConfigs) {
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    xutil::Pcg32 rng(99, s);
+    const auto t = xcheck::draw_trial(rng, 99 + s);
+    EXPECT_NO_THROW(t.to_config().validate()) << t.describe();
+    EXPECT_LE(std::uint64_t{1} << t.butterfly_levels, t.clusters)
+        << t.describe();
+  }
+}
+
+// The acceptance bar of the xcheck design: a 200-trial seeded campaign —
+// healthy and faulted configurations alike — stays inside the envelope.
+TEST(XCheckDifferential, TwoHundredSeededTrialsPass) {
+  xcheck::FuzzOptions opt;
+  opt.seed = 1;
+  opt.trials = 200;
+  const auto summary = xcheck::run_fuzz(opt);
+  EXPECT_EQ(summary.trials_run, 200u);
+  EXPECT_TRUE(summary.pass()) << summary.report;
+
+  // The campaign must exercise both regimes.
+  unsigned faulted = 0;
+  for (unsigned i = 0; i < opt.trials; ++i) {
+    xutil::Pcg32 rng(opt.seed, i);
+    if (!xcheck::draw_trial(rng, opt.seed + i).faults.empty()) ++faulted;
+  }
+  EXPECT_GT(faulted, 50u);
+  EXPECT_LT(faulted, 150u);
+}
+
+// Canary: scale every analytic component to 15% (the way a botched
+// calibration constant would) — the envelope must catch it, and the
+// shrinker must reduce the failure to at most two phases.
+TEST(XCheckDifferential, BrokenCalibrationIsCaughtAndShrunk) {
+  xcheck::FuzzOptions opt;
+  opt.seed = 1;
+  opt.trials = 20;
+  opt.diff.calibration_scale = 0.15;
+  const auto summary = xcheck::run_fuzz(opt);
+  ASSERT_FALSE(summary.pass());
+  ASSERT_FALSE(summary.failures.empty());
+  for (const auto& f : summary.failures) {
+    const auto& shrunk = f.shrunk;
+    EXPECT_FALSE(shrunk.result.pass());
+    EXPECT_TRUE(shrunk.result.error.empty()) << shrunk.result.error;
+    EXPECT_LE(shrunk.result.phases.size(), 2u)
+        << xcheck::render_trial(shrunk.result);
+    // Shrinking must never grow the case.
+    EXPECT_LE(shrunk.minimized.nx * shrunk.minimized.ny * shrunk.minimized.nz,
+              f.original.nx * f.original.ny * f.original.nz);
+    EXPECT_LE(shrunk.minimized.clusters, f.original.clusters);
+  }
+}
+
+TEST(XCheckDifferential, ShrinkerReturnsPassingCaseUntouched) {
+  const TrialCase t;
+  const auto out = xcheck::shrink_trial(t, Envelope{});
+  EXPECT_TRUE(out.result.pass());
+  EXPECT_EQ(out.moves_accepted, 0u);
+  EXPECT_EQ(out.minimized.describe(), t.describe());
+}
+
+TEST(XCheckDifferential, BadPhaseIndexIsAnErrorNotACrash) {
+  TrialCase t;
+  t.phase_mask = {999};
+  const auto r = xcheck::run_trial(t, Envelope{});
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_FALSE(r.pass());
+}
+
+TEST(XCheckDifferential, RenderIsDeterministic) {
+  const TrialCase t;
+  const auto a = xcheck::render_trial(xcheck::run_trial(t, Envelope{}));
+  const auto b = xcheck::render_trial(xcheck::run_trial(t, Envelope{}));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("=> PASS"), std::string::npos);
+}
+
+}  // namespace

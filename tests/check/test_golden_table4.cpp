@@ -1,0 +1,44 @@
+// Golden-number lock on the committed calibration: the Table IV throughput
+// of every Table II preset, as the analytic model reproduces it today, must
+// stay within kGoldenRelTolerance (1%) of the values recorded in
+// xcheck/tolerances.hpp. The paper-accuracy tests (tests/sim) allow 8%
+// against the published numbers; this test catches *silent drift* — any edit
+// to a constant in xsim/calibration.hpp fails here with a precise delta
+// long before it leaves the paper tolerance.
+#include <gtest/gtest.h>
+
+#include "xcheck/tolerances.hpp"
+#include "xfft/types.hpp"
+#include "xsim/perf_model.hpp"
+
+namespace {
+
+constexpr xfft::Dims3 k512{512, 512, 512};
+
+TEST(XCheckGoldenTable4, GoldenRowsCoverEveryPreset) {
+  const auto presets = xsim::paper_presets();
+  ASSERT_EQ(presets.size(), std::size(xcheck::tol::kGoldenTable4));
+  for (const auto& g : xcheck::tol::kGoldenTable4) {
+    bool found = false;
+    for (const auto& p : presets) found = found || p.name == g.config;
+    EXPECT_TRUE(found) << "golden row for unknown preset: " << g.config;
+  }
+}
+
+TEST(XCheckGoldenTable4, CommittedCalibrationWithinOnePercent) {
+  for (const auto& g : xcheck::tol::kGoldenTable4) {
+    xsim::MachineConfig cfg;
+    for (const auto& p : xsim::paper_presets()) {
+      if (p.name == g.config) cfg = p;
+    }
+    const auto r = xsim::FftPerfModel(cfg).analyze_fft(k512, 8);
+    EXPECT_NEAR(r.standard_gflops / g.standard_gflops, 1.0,
+                xcheck::tol::kGoldenRelTolerance)
+        << g.config << ": model now " << r.standard_gflops
+        << " GFLOPS, golden " << g.standard_gflops
+        << " — a calibration constant drifted; if intentional, update "
+           "kGoldenTable4 in src/xcheck/tolerances.hpp";
+  }
+}
+
+}  // namespace

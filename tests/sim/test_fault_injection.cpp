@@ -408,4 +408,85 @@ TEST(ResilientFft, InverseRoundTripsUnderInjection) {
   EXPECT_LT(rel_l2(data, original), 1e-4);
 }
 
+// ---------------------------------------------------------------------------
+// FaultDerating::from_fault_map edge cases (hand-built maps, no sampling).
+// ---------------------------------------------------------------------------
+
+MachineShape derating_shape() {
+  MachineShape s;
+  s.clusters = 4;
+  s.tcus_per_cluster = 8;
+  s.memory_modules = 8;
+  s.mms_per_dram_ctrl = 2;
+  s.butterfly_levels = 2;
+  return s;
+}
+
+TEST(FaultDerating, EmptyMapIsHealthy) {
+  FaultMap map;
+  map.shape = derating_shape();
+  const auto d = xsim::FaultDerating::from_fault_map(map);
+  EXPECT_TRUE(d.healthy());
+  EXPECT_EQ(d.compute, 1.0);
+  EXPECT_EQ(d.issue, 1.0);
+  EXPECT_EQ(d.ports, 1.0);
+  EXPECT_EQ(d.noc, 1.0);
+  EXPECT_EQ(d.dram, 1.0);
+}
+
+TEST(FaultDerating, AllChannelsDeadDeratesDramToZero) {
+  FaultMap map;
+  map.shape = derating_shape();
+  map.failed_channel.assign(map.shape.dram_channels(), 1);
+  const auto d = xsim::FaultDerating::from_fault_map(map);
+  EXPECT_EQ(d.dram, 0.0);
+  EXPECT_EQ(d.compute, 1.0);  // clusters untouched
+  EXPECT_EQ(d.issue, 1.0);
+  EXPECT_FALSE(d.healthy());
+}
+
+TEST(FaultDerating, AllTcusDeadDeratesIssueAndComputeToZero) {
+  FaultMap map;
+  map.shape = derating_shape();
+  map.dead_tcu.assign(map.shape.tcus(), 1);
+  const auto d = xsim::FaultDerating::from_fault_map(map);
+  EXPECT_EQ(d.issue, 0.0);
+  EXPECT_EQ(d.compute, 0.0);  // no cluster has a live TCU
+  EXPECT_EQ(d.ports, 0.0);    // ports follow clusters
+  EXPECT_EQ(d.dram, 1.0);
+}
+
+TEST(FaultDerating, ExactFractionsFromHandBuiltMap) {
+  FaultMap map;
+  map.shape = derating_shape();  // 4 clusters x 8 TCUs, 4 channels
+  // Kill all of cluster 0 (8 TCUs) plus 4 TCUs of cluster 1: 20/32 live,
+  // 3/4 clusters live.
+  map.dead_tcu.assign(map.shape.tcus(), 0);
+  for (std::size_t t = 0; t < 12; ++t) map.dead_tcu[t] = 1;
+  // One of four channels down.
+  map.failed_channel.assign(map.shape.dram_channels(), 0);
+  map.failed_channel[2] = 1;
+  // Half the butterfly links at period 2 (throughput 1/2): mean 3/4.
+  map.link_period.assign(map.shape.butterfly_links(), 1);
+  for (std::size_t l = 0; l < map.link_period.size() / 2; ++l) {
+    map.link_period[l] = 2;
+  }
+  const auto d = xsim::FaultDerating::from_fault_map(map);
+  EXPECT_DOUBLE_EQ(d.issue, 20.0 / 32.0);
+  EXPECT_DOUBLE_EQ(d.compute, 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(d.ports, 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(d.dram, 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(d.noc, 0.75);
+}
+
+TEST(FaultDerating, ZeroCapacityDeratingRejectedByModel) {
+  FaultMap map;
+  map.shape = derating_shape();
+  map.dead_tcu.assign(map.shape.tcus(), 1);
+  const auto d = xsim::FaultDerating::from_fault_map(map);
+  MachineConfig c = tiny_config();
+  EXPECT_THROW(xsim::FftPerfModel(c, d), xutil::Error);
+}
+
 }  // namespace
+

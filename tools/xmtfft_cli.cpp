@@ -14,11 +14,20 @@
 //       Degraded-machine run: cycle-level (scaled config) or analytic
 //       (--config preset) timing under a fault plan, plus the host-side
 //       soft-error detection/recovery harness with checksum verification.
+//   xmtfft_cli check [--seed 1] [--trials 200] [--corpus <dir>]
+//       Cross-fidelity differential fuzzing: random machine configs + FFT
+//       sizes through both the cycle-level machine and the analytic model,
+//       failures shrunk to minimal reproducers. --replay <dir> re-runs a
+//       saved corpus; --canary <scale> mis-calibrates the model on purpose
+//       (a scale well below 1 must be caught).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
 
+#include "xcheck/corpus.hpp"
+#include "xcheck/fuzzer.hpp"
+#include "xcheck/metamorphic.hpp"
 #include "xfault/fault_plan.hpp"
 #include "xfault/resilient_fft.hpp"
 #include "xfft/fftnd.hpp"
@@ -37,7 +46,7 @@ namespace {
 
 int usage() {
   std::puts(
-      "usage: xmtfft_cli <configs|simulate|roofline|machine|fft|faults>"
+      "usage: xmtfft_cli <configs|simulate|roofline|machine|fft|faults|check>"
       " [flags]\n"
       "  configs\n"
       "  simulate --config {4k,8k,64k,128k_x2,128k_x4} --size 512^3"
@@ -48,7 +57,10 @@ int usage() {
       "  faults   --faults <spec> [--seed N] [--config <name> | --clusters N]"
       " --size <dims>\n"
       "           spec: tcu:kill:<sel>,cluster:kill:<sel>,dram:chan:<sel>,"
-      "noc:link:degrade:<f>x[:<sel>],soft:flip:<rate>");
+      "noc:link:degrade:<f>x[:<sel>],soft:flip:<rate>\n"
+      "  check    [--seed N] [--trials N] [--corpus <dir>] [--replay <dir>]\n"
+      "           [--canary <scale>] [--properties] [--lower f] [--upper f]"
+      " [--floor cycles]");
   return 2;
 }
 
@@ -343,6 +355,62 @@ int cmd_faults(const xutil::Flags& flags) {
   return run_resilience_harness(dims, plan.soft_flip_rate, seed);
 }
 
+int cmd_check(const xutil::Flags& flags) {
+  xcheck::Envelope env;
+  env.lower_margin = flags.get_double("lower", env.lower_margin);
+  env.upper_margin = flags.get_double("upper", env.upper_margin);
+  env.floor_cycles = flags.get_double("floor", env.floor_cycles);
+  xcheck::DifferentialOptions diff;
+  diff.calibration_scale = flags.get_double("canary", 1.0);
+
+  if (flags.has("properties")) {
+    // Metamorphic property suite over every FFT engine.
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    flags.reject_unused();
+    const auto results = xcheck::run_metamorphic_suite(seed);
+    unsigned failed = 0;
+    for (const auto& r : results) {
+      if (!r.pass) ++failed;
+      std::printf("%s\n", r.describe().c_str());
+    }
+    std::printf("%zu properties checked, %u failed -> %s\n", results.size(),
+                failed, failed == 0 ? "PASS" : "FAIL");
+    return failed == 0 ? 0 : 1;
+  }
+
+  if (flags.has("replay")) {
+    const std::string dir = flags.get("replay");
+    flags.reject_unused();
+    const auto entries = xcheck::replay_corpus(dir, env, diff);
+    unsigned failed = 0;
+    for (const auto& e : entries) {
+      if (!e.parse_error.empty()) {
+        ++failed;
+        std::printf("%s: PARSE ERROR: %s\n", e.path.c_str(),
+                    e.parse_error.c_str());
+        continue;
+      }
+      if (!e.pass()) ++failed;
+      std::printf("%s:\n%s", e.path.c_str(),
+                  xcheck::render_trial(e.result).c_str());
+    }
+    std::printf("%zu corpus entries replayed, %u failed -> %s\n",
+                entries.size(), failed, failed == 0 ? "PASS" : "FAIL");
+    return failed == 0 ? 0 : 1;
+  }
+
+  xcheck::FuzzOptions opt;
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  opt.trials = static_cast<unsigned>(flags.get_int("trials", 200));
+  opt.envelope = env;
+  opt.diff = diff;
+  opt.corpus_dir = flags.get("corpus", "");
+  flags.reject_unused();
+  const auto summary = xcheck::run_fuzz(opt);
+  std::fputs(summary.report.c_str(), stdout);
+  return summary.pass() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,6 +427,7 @@ int main(int argc, char** argv) {
     if (cmd == "machine") return cmd_machine(flags);
     if (cmd == "fft") return cmd_fft(flags);
     if (cmd == "faults") return cmd_faults(flags);
+    if (cmd == "check") return cmd_check(flags);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage();
   } catch (const xutil::Error& e) {
