@@ -8,11 +8,34 @@
 //     machine — the x2 -> x4 step, and why more DRAM stops helping once
 //     the ICN binds (observation (c)).
 #include <cstdio>
+#include <vector>
 
+#include "xpar/pool.hpp"
 #include "xsim/perf_model.hpp"
 #include "xutil/string_util.hpp"
 #include "xutil/table.hpp"
 #include "xutil/units.hpp"
+
+namespace {
+
+// Each design point is an independent analytic evaluation; fan the sweep
+// onto the xpar pool and return reports in sweep order, so the serially
+// rendered tables are byte-identical to a serial run.
+std::vector<xsim::FftPerfReport> analyze_all(
+    const std::vector<xsim::MachineConfig>& cfgs, xfft::Dims3 dims) {
+  std::vector<xsim::FftPerfReport> reports(cfgs.size());
+  xpar::parallel_for(0, static_cast<std::int64_t>(cfgs.size()), 1,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         const auto k = static_cast<std::size_t>(i);
+                         reports[k] =
+                             xsim::FftPerfModel(cfgs[k]).analyze_fft(dims);
+                       }
+                     });
+  return reports;
+}
+
+}  // namespace
 
 int main() {
   const xfft::Dims3 dims{512, 512, 512};
@@ -20,12 +43,20 @@ int main() {
   xutil::Table f("DESIGN SPACE: FPUs PER CLUSTER (128k, DRAM ctrl per MM)");
   f.set_header({"FPUs/cluster", "peak TFLOPS", "FFT GFLOPS",
                 "gain vs previous", "binding resource (non-rot)"});
-  double prev = 0.0;
-  for (const unsigned fpus : {1u, 2u, 4u, 8u, 16u}) {
+  const std::vector<unsigned> fpu_counts = {1, 2, 4, 8, 16};
+  std::vector<xsim::MachineConfig> fpu_cfgs;
+  for (const unsigned fpus : fpu_counts) {
     auto cfg = xsim::preset_128k_x4();
     cfg.fpus_per_cluster = fpus;
     cfg.validate();
-    const auto r = xsim::FftPerfModel(cfg).analyze_fft(dims);
+    fpu_cfgs.push_back(cfg);
+  }
+  const auto fpu_reports = analyze_all(fpu_cfgs, dims);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < fpu_cfgs.size(); ++i) {
+    const unsigned fpus = fpu_counts[i];
+    const auto& cfg = fpu_cfgs[i];
+    const auto& r = fpu_reports[i];
     const auto& nonrot = r.phases[0];
     f.add_row({std::to_string(fpus),
                xutil::format_fixed(cfg.peak_flops_per_sec() / 1e12, 0),
@@ -44,12 +75,20 @@ int main() {
   xutil::Table d("DESIGN SPACE: DRAM CHANNELS (128k, 2 FPUs/cluster)");
   d.set_header({"MMs per ctrl", "channels", "off-chip BW", "FFT GFLOPS",
                 "gain vs previous"});
-  prev = 0.0;
-  for (const unsigned per : {8u, 4u, 2u, 1u}) {
+  const std::vector<unsigned> per_ctrl = {8, 4, 2, 1};
+  std::vector<xsim::MachineConfig> dram_cfgs;
+  for (const unsigned per : per_ctrl) {
     auto cfg = xsim::preset_128k_x2();
     cfg.mms_per_dram_ctrl = per;
     cfg.validate();
-    const auto r = xsim::FftPerfModel(cfg).analyze_fft(dims);
+    dram_cfgs.push_back(cfg);
+  }
+  const auto dram_reports = analyze_all(dram_cfgs, dims);
+  prev = 0.0;
+  for (std::size_t i = 0; i < dram_cfgs.size(); ++i) {
+    const unsigned per = per_ctrl[i];
+    const auto& cfg = dram_cfgs[i];
+    const auto& r = dram_reports[i];
     d.add_row({std::to_string(per), std::to_string(cfg.dram_channels()),
                xutil::format_bandwidth_bits(cfg.dram_bw_bytes_per_sec() * 8),
                xutil::format_gflops(r.standard_gflops),
@@ -70,18 +109,24 @@ int main() {
     unsigned mot, bf;
     const char* note;
   };
-  for (const auto& s :
-       {Split{6, 9, "Table II (area-feasible)"},
-        Split{8, 8, "denser NoC (future node)"},
-        Split{12, 6, "much denser"},
-        Split{24, 0, "pure MoT (760+ mm^2 per Section II-B scaling)"}}) {
+  const std::vector<Split> splits = {
+      {6, 9, "Table II (area-feasible)"},
+      {8, 8, "denser NoC (future node)"},
+      {12, 6, "much denser"},
+      {24, 0, "pure MoT (760+ mm^2 per Section II-B scaling)"}};
+  std::vector<xsim::MachineConfig> noc_cfgs;
+  for (const auto& s : splits) {
     auto cfg = xsim::preset_128k_x4();
     cfg.mot_levels = s.mot;
     cfg.butterfly_levels = s.bf;
     cfg.validate();
-    const auto r = xsim::FftPerfModel(cfg).analyze_fft(dims);
+    noc_cfgs.push_back(cfg);
+  }
+  const auto noc_reports = analyze_all(noc_cfgs, dims);
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    const auto& s = splits[i];
     n.add_row({std::to_string(s.mot) + " + " + std::to_string(s.bf),
-               xutil::format_gflops(r.standard_gflops), s.note});
+               xutil::format_gflops(noc_reports[i].standard_gflops), s.note});
   }
   n.add_note("the paper's closing point: 'future technology scaling should "
              "allow for a more dense network-on-chip, which would alleviate "

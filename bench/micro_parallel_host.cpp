@@ -1,0 +1,93 @@
+// Host-parallel 3-D FFT microbenchmark: serial vs pool execution.
+//
+// Times the same PlanND on the same input with a 1-thread pool and an
+// N-thread pool, verifies the outputs are byte-identical (the xpar
+// determinism contract), and prints both throughputs next to the paper's
+// calibrated Xeon E5-2690 FFTW points (7.71 GFLOPS serial, 85.4 GFLOPS at
+// 32 threads) so host scaling can be read against the reference platform.
+//
+//   micro_parallel_host [--size 256^3] [--threads N] [--reps 3]
+//
+// --threads defaults to the pool default (XMTFFT_THREADS, else all cores).
+// Throughput is best-of-reps in the 5 N log2 N convention.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "xfft/fftnd.hpp"
+#include "xpar/pool.hpp"
+#include "xref/xeon.hpp"
+#include "xutil/flags.hpp"
+#include "xutil/rng.hpp"
+#include "xutil/units.hpp"
+
+namespace {
+
+double best_seconds(const xfft::PlanND<float>& plan,
+                    const std::vector<xfft::Cf>& input,
+                    std::vector<xfft::Cf>& out, unsigned reps) {
+  double best = 1e300;
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    out = input;
+    const auto t0 = std::chrono::steady_clock::now();
+    plan.execute(std::span<xfft::Cf>(out));
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const xutil::Flags flags(argc - 1, argv + 1);
+  std::size_t nx = 256;
+  std::size_t ny = 256;
+  std::size_t nz = 256;
+  xutil::parse_dims(flags.get("size", "256^3"), &nx, &ny, &nz);
+  const auto threads = static_cast<unsigned>(flags.get_int(
+      "threads",
+      static_cast<std::int64_t>(xpar::ThreadPool::default_thread_count())));
+  const auto reps = static_cast<unsigned>(flags.get_int("reps", 3));
+  flags.reject_unused();
+
+  const xfft::Dims3 dims{nx, ny, nz};
+  const double flops = xfft::standard_fft_flops(dims.total());
+
+  std::vector<xfft::Cf> input(dims.total());
+  xutil::Pcg32 rng(42);
+  for (auto& v : input) {
+    v = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+  const xfft::PlanND<float> plan(dims, xfft::Direction::kForward);
+
+  std::vector<xfft::Cf> serial_out;
+  std::vector<xfft::Cf> parallel_out;
+  xpar::ThreadPool::set_global_threads(1);
+  const double t_serial = best_seconds(plan, input, serial_out, reps);
+  xpar::ThreadPool::set_global_threads(threads);
+  const double t_parallel = best_seconds(plan, input, parallel_out, reps);
+  xpar::ThreadPool::set_global_threads(1);  // drop the workers before exit
+
+  const bool identical =
+      std::memcmp(serial_out.data(), parallel_out.data(),
+                  serial_out.size() * sizeof(xfft::Cf)) == 0;
+
+  const xref::XeonE5_2690 xeon;
+  const double g_serial = flops / t_serial / 1e9;
+  const double g_parallel = flops / t_parallel / 1e9;
+  std::printf("host 3-D FFT, %s (%.1f Mpt), best of %u\n",
+              xutil::format_dims3(nx, ny, nz).c_str(),
+              static_cast<double>(dims.total()) / 1e6, reps);
+  std::printf("  serial (1 thread):    %8.3f ms  %7.2f GFLOPS\n",
+              t_serial * 1e3, g_serial);
+  std::printf("  pool (%3u threads):   %8.3f ms  %7.2f GFLOPS  (%.2fx)\n",
+              threads, t_parallel * 1e3, g_parallel, t_serial / t_parallel);
+  std::printf("  outputs byte-identical: %s\n", identical ? "yes" : "NO");
+  std::printf(
+      "  reference (paper, 512^3): Xeon E5-2690 FFTW %.2f GFLOPS serial, "
+      "%.1f GFLOPS at 32 threads\n",
+      xeon.serial_fftw_gflops, xeon.parallel32_fftw_gflops);
+  return identical ? 0 : 1;
+}

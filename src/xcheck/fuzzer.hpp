@@ -5,7 +5,9 @@
 // every failure, and (optionally) writes the minimized reproducers to a
 // corpus directory. The whole campaign — trial order, shrink order, report
 // text, corpus bytes — is a pure function of (seed, trials, envelope,
-// options), which the determinism test in tests/check exploits.
+// options), which the determinism test in tests/check exploits. Trials run
+// on the xpar pool (aggregation stays serial, in trial order), so the
+// report is also byte-identical at any thread count.
 #pragma once
 
 #include <cstdint>

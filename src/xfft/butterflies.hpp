@@ -109,6 +109,31 @@ inline void small_dft(std::complex<T>* v, unsigned r, bool inverse,
   }
 }
 
+/// Batched radix-8 DIF inner loop over one block: all `sub` butterflies of
+/// the block starting at `p`, loads and stores at stride `sub`. This is the
+/// hot loop of every power-of-8 transform, so the radix is a compile-time
+/// constant here: the per-butterfly radix dispatch and variable-bound copy
+/// loops of the generic path collapse into straight-line code the compiler
+/// can keep in registers and vectorize. The arithmetic — loads, dft8,
+/// ascending-i twiddle multiplies with index (i*j % block) * tw_stride,
+/// stores — is identical in order to the generic path, so results are
+/// bit-for-bit the same (the XMTC-vs-library exactness tests rely on it).
+template <typename T>
+inline void radix8_dif_block(std::complex<T>* p, std::size_t sub,
+                             std::size_t block, std::size_t tw_stride,
+                             const TwiddleTable<T>& tw, bool inverse) {
+  for (std::size_t j = 0; j < sub; ++j) {
+    std::complex<T>* const q = p + j;
+    std::complex<T> v[8];
+    for (unsigned t = 0; t < 8; ++t) v[t] = q[t * sub];
+    dft8(v, inverse);
+    for (unsigned i = 1; i < 8; ++i) {
+      v[i] *= tw[(static_cast<std::size_t>(i) * j % block) * tw_stride];
+    }
+    for (unsigned t = 0; t < 8; ++t) q[t * sub] = v[t];
+  }
+}
+
 /// Actual floating-point operations performed by one r-point core
 /// (real adds + real multiplies), per the accounting in DESIGN.md §5.
 [[nodiscard]] constexpr std::uint64_t small_dft_flops(unsigned r) {

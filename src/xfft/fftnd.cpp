@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "xpar/pool.hpp"
+#include "xutil/aligned.hpp"
 #include "xutil/check.hpp"
 
 namespace xfft {
@@ -14,16 +16,23 @@ void rotate_axes(std::span<const std::complex<T>> src,
   const std::size_t d0 = dims.nx;
   const std::size_t d1 = dims.ny;
   const std::size_t d2 = dims.nz;
-  // dst logical dims are [d0][d2][d1] with d1 fastest.
-  for (std::size_t i2 = 0; i2 < d2; ++i2) {
-    for (std::size_t i1 = 0; i1 < d1; ++i1) {
-      const std::size_t src_base = (i2 * d1 + i1) * d0;
-      const std::size_t dst_base = i2 * d1 + i1;
-      for (std::size_t i0 = 0; i0 < d0; ++i0) {
-        dst[dst_base + i0 * d1 * d2] = src[src_base + i0];
-      }
-    }
-  }
+  // dst logical dims are [d0][d2][d1] with d1 fastest. Tiled across the
+  // pool over the (i2, i1) plane: each tile of source rows writes a
+  // disjoint comb of dst, so the parallel rotation is byte-identical to
+  // the serial one at any thread count.
+  xpar::parallel_for(
+      0, static_cast<std::int64_t>(d2 * d1), 0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t idx = lo; idx < hi; ++idx) {
+          const auto i2 = static_cast<std::size_t>(idx) / d1;
+          const auto i1 = static_cast<std::size_t>(idx) % d1;
+          const std::size_t src_base = (i2 * d1 + i1) * d0;
+          const std::size_t dst_base = i2 * d1 + i1;
+          for (std::size_t i0 = 0; i0 < d0; ++i0) {
+            dst[dst_base + i0 * d1 * d2] = src[src_base + i0];
+          }
+        }
+      });
 }
 
 template <typename T>
@@ -74,7 +83,12 @@ template <typename T>
 void PlanND<T>::apply_scaling(std::span<std::complex<T>> data) const {
   if (dir_ == Direction::kInverse && opt_.scaling == Scaling::kUnitary1OverN) {
     const T s = T(1) / static_cast<T>(dims_.total());
-    for (auto& x : data) x *= s;
+    xpar::parallel_for(0, static_cast<std::int64_t>(data.size()), 0,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           data[static_cast<std::size_t>(i)] *= s;
+                         }
+                       });
   }
 }
 
@@ -104,14 +118,24 @@ void PlanND<T>::execute_separate(std::span<std::complex<T>> data) const {
   const std::size_t n = dims_.total();
   const std::size_t axis_len[3] = {dims_.nx, dims_.ny, dims_.nz};
   for (int pass = 0; pass < 3; ++pass) {
-    const Plan1D<T>* plan = nullptr;
     if (axis_len[pass] > 1) {
-      plan = &axis_plan(pass);
+      const Plan1D<T>& plan = axis_plan(pass);
       const std::size_t rows = n / cur.nx;
-      for (std::size_t row = 0; row < rows; ++row) {
-        plan->execute(
-            std::span<std::complex<T>>(src + row * cur.nx, cur.nx));
-      }
+      const std::size_t len = cur.nx;
+      // Pencil parallelism: each chunk of rows runs on one lane with its
+      // own reorder scratch (the shared plan is read-only in execution).
+      xpar::parallel_for(
+          0, static_cast<std::int64_t>(rows), 0,
+          [&](std::int64_t lo, std::int64_t hi) {
+            xutil::AlignedVector<std::complex<T>> row_scratch(len);
+            const std::span<std::complex<T>> scratch_span(row_scratch.data(),
+                                                          len);
+            for (std::int64_t row = lo; row < hi; ++row) {
+              plan.execute(std::span<std::complex<T>>(
+                               src + static_cast<std::size_t>(row) * len, len),
+                           scratch_span);
+            }
+          });
     }
     rotate_axes(std::span<const std::complex<T>>(src, n),
                 std::span<std::complex<T>>(dst, n), cur);
@@ -137,12 +161,22 @@ void PlanND<T>::execute_fused(std::span<std::complex<T>> data) const {
       const Plan1D<T>& plan = axis_plan(pass);
       // Each row's final iteration scatters straight into the rotated
       // array: frequency k of row (i1, i2) lands at k*(d1*d2) + i2*d1 + i1.
+      // Rows are disjoint in src and scatter to disjoint combs of dst
+      // (offset = row), so the fused transpose tiles across lanes with no
+      // synchronization inside a pass.
       const std::size_t stride = cur.ny * cur.nz;
-      for (std::size_t row = 0; row < rows; ++row) {
-        plan.execute_scatter_affine(
-            std::span<std::complex<T>>(src + row * cur.nx, cur.nx),
-            std::span<std::complex<T>>(dst, n), row, stride);
-      }
+      const std::size_t len = cur.nx;
+      xpar::parallel_for(
+          0, static_cast<std::int64_t>(rows), 0,
+          [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t row = lo; row < hi; ++row) {
+              plan.execute_scatter_affine(
+                  std::span<std::complex<T>>(
+                      src + static_cast<std::size_t>(row) * len, len),
+                  std::span<std::complex<T>>(dst, n),
+                  static_cast<std::size_t>(row), stride);
+            }
+          });
     } else {
       rotate_axes(std::span<const std::complex<T>>(src, n),
                   std::span<std::complex<T>>(dst, n), cur);

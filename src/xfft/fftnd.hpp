@@ -22,6 +22,7 @@
 
 #include "xfft/plan1d.hpp"
 #include "xfft/types.hpp"
+#include "xutil/aligned.hpp"
 
 namespace xfft {
 
@@ -43,6 +44,13 @@ void rotate_axes(std::span<const std::complex<T>> src,
 /// In-place N-dimensional FFT plan (rank 1, 2 or 3), natural layout in and
 /// out (x fastest). Like Plan1D, a plan is reusable but not concurrently
 /// executable (shared scratch).
+///
+/// Execution is pencil-parallel on the xpar pool: row FFTs, the fused
+/// scatter, the rotation tiles and the scaling pass are all chunked with
+/// xpar::parallel_for. Every row/tile writes a disjoint region, so output
+/// is byte-identical at any pool size (including 1); callers pick the
+/// concurrency through xpar::ThreadPool::set_global_threads / --threads /
+/// XMTFFT_THREADS.
 template <typename T>
 class PlanND {
  public:
@@ -76,7 +84,7 @@ class PlanND {
   // One plan per axis length (axes of equal length share a plan).
   std::vector<std::unique_ptr<Plan1D<T>>> plans_;
   std::array<int, 3> plan_of_axis_{};
-  mutable std::vector<std::complex<T>> scratch_;
+  mutable xutil::AlignedVector<std::complex<T>> scratch_;
 };
 
 /// Convenience aliases matching the paper's 2-D / 3-D usage.

@@ -10,6 +10,7 @@
 #include "xfft/permute.hpp"
 #include "xfft/twiddle.hpp"
 #include "xfft/types.hpp"
+#include "xutil/aligned.hpp"
 
 namespace xfft {
 
@@ -42,6 +43,14 @@ class Plan1D {
 
   /// Transforms `data` (length n) in place; output in natural order.
   void execute(std::span<std::complex<T>> data) const;
+
+  /// Same, but reordering through a caller-provided scratch buffer
+  /// (length >= n) instead of the plan's shared one. This is the
+  /// concurrency-safe entry point: the plan's tables are read-only during
+  /// execution, so any number of threads may run this on the same plan as
+  /// long as each brings its own scratch (the pencil-parallel N-D path).
+  void execute(std::span<std::complex<T>> data,
+               std::span<std::complex<T>> scratch) const;
 
   /// Runs only the butterfly stages; output left in digit-reversed order.
   /// Callers composing their own reorder (e.g. the fused-rotation 3-D path)
@@ -87,7 +96,9 @@ class Plan1D {
   TwiddleTable<T> tw_;
   std::vector<std::uint32_t> perm_;
   std::uint64_t flops_ = 0;
-  mutable std::vector<std::complex<T>> scratch_;
+  // Cache-line aligned so the batched butterfly loops see aligned rows;
+  // shared, hence the external-scratch execute overload for concurrency.
+  mutable xutil::AlignedVector<std::complex<T>> scratch_;
 };
 
 extern template class Plan1D<float>;

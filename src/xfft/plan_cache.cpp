@@ -6,6 +6,7 @@ std::shared_ptr<Plan1D<float>> PlanCache::plan_1d(std::size_t n,
                                                   Direction dir,
                                                   PlanOptions opt) {
   const Key1D key{n, dir, opt.max_radix, opt.scaling};
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = cache_1d_.find(key);
   if (it != cache_1d_.end()) {
     ++hits_;
@@ -21,6 +22,7 @@ std::shared_ptr<PlanND<float>> PlanCache::plan_nd(Dims3 dims, Direction dir,
                                                   PlanND<float>::Options opt) {
   const KeyND key{dims.nx,       dims.ny,     dims.nz,     dir,
                   opt.max_radix, opt.scaling, opt.rotation};
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = cache_nd_.find(key);
   if (it != cache_nd_.end()) {
     ++hits_;
@@ -33,6 +35,7 @@ std::shared_ptr<PlanND<float>> PlanCache::plan_nd(Dims3 dims, Direction dir,
 }
 
 void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
   cache_1d_.clear();
   cache_nd_.clear();
 }

@@ -5,13 +5,16 @@
 // hold a plan (e.g. library internals, language bindings) still reuse
 // them. Plans are shared via shared_ptr; entries live until clear().
 //
-// Note Plan1D/PlanND execution is not thread-safe on a single instance
-// (shared scratch); the cache hands out shared instances, so concurrent
-// executors should each use their own cache or external locking.
+// The cache itself is thread-safe (a mutex guards the maps and counters),
+// so planning may happen from pool workers. Note Plan1D/PlanND execution
+// is still not thread-safe on a single instance (shared scratch); the
+// cache hands out shared instances, so concurrent executors should each
+// use their own plan, the external-scratch Plan1D overload, or locking.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "xfft/fftnd.hpp"
 #include "xfft/plan1d.hpp"
@@ -29,10 +32,17 @@ class PlanCache {
                                          PlanND<float>::Options opt = {});
 
   [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return cache_1d_.size() + cache_nd_.size();
   }
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t hits() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
   /// Drops every cached plan (outstanding shared_ptrs stay valid).
   void clear();
@@ -56,6 +66,7 @@ class PlanCache {
     RotationMode rotation;
     auto operator<=>(const KeyND&) const = default;
   };
+  mutable std::mutex mu_;
   std::map<Key1D, std::shared_ptr<Plan1D<float>>> cache_1d_;
   std::map<KeyND, std::shared_ptr<PlanND<float>>> cache_nd_;
   std::uint64_t hits_ = 0;

@@ -51,8 +51,11 @@ std::vector<unsigned> run_dim_stages(Runtime& rt, std::span<Cf> buf,
     const bool last = s + 1 == radices.size();
     const std::size_t threads_per_row = len / r;
     ++stats.spawns;
+    // Thread counts are structural (one per butterfly), so they are tallied
+    // here rather than inside the body — the body must stay free of shared
+    // non-ps writes so the pool executor can run it concurrently.
+    stats.threads += n / r;
     rt.spawn(0, static_cast<std::int64_t>(n / r) - 1, [&](Thread& t) {
-      ++stats.threads;
       const auto tid = static_cast<std::size_t>(t.id());
       const std::size_t row = tid / threads_per_row;
       const std::size_t j = tid % threads_per_row;
@@ -109,14 +112,14 @@ FftStats fft1d_xmtc(Runtime& rt, std::span<Cf> data, Direction dir,
   const auto perm = xfft::dif_output_permutation(radices, n);
   std::vector<Cf> scratch(n);
   ++stats.spawns;
+  stats.threads += n;
   rt.spawn(0, static_cast<std::int64_t>(n) - 1, [&](Thread& t) {
-    ++stats.threads;
     scratch[static_cast<std::size_t>(t.id())] =
         data[perm[static_cast<std::size_t>(t.id())]];
   });
   ++stats.spawns;
+  stats.threads += n;
   rt.spawn(0, static_cast<std::int64_t>(n) - 1, [&](Thread& t) {
-    ++stats.threads;
     const auto k = static_cast<std::size_t>(t.id());
     Cf x = scratch[k];
     if (dir == Direction::kInverse) x *= 1.0F / static_cast<float>(n);
@@ -151,8 +154,8 @@ FftStats fftnd_xmtc(Runtime& rt, std::span<Cf> data, xfft::Dims3 dims,
     } else {
       // Length-1 axis: the rotation degenerates to an identity copy.
       ++stats.spawns;
+      stats.threads += n;
       rt.spawn(0, static_cast<std::int64_t>(n) - 1, [&](Thread& t) {
-        ++stats.threads;
         dst[t.id()] = src[t.id()];
       });
     }
@@ -163,8 +166,8 @@ FftStats fftnd_xmtc(Runtime& rt, std::span<Cf> data, xfft::Dims3 dims,
   // Three rotations leave the result in the scratch buffer; copy back and
   // apply inverse scaling in the same pass.
   ++stats.spawns;
+  stats.threads += n;
   rt.spawn(0, static_cast<std::int64_t>(n) - 1, [&](Thread& t) {
-    ++stats.threads;
     Cf x = src[t.id()];
     if (dir == Direction::kInverse) x *= 1.0F / static_cast<float>(n);
     data[static_cast<std::size_t>(t.id())] = x;

@@ -2,20 +2,31 @@
 
 #include <vector>
 
+#include "xpar/pool.hpp"
 #include "xutil/check.hpp"
 
 namespace xmtc {
 
 std::int64_t Thread::ps(std::int64_t& global_register,
                         std::int64_t increment) {
-  ++rt_.ps_ops_;
+  rt_.ps_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (rt_.mode_ == ExecMode::kParallel) {
+    // The hardware prefix-sum unit serializes concurrent ps ops in an
+    // arbitrary order; fetch-and-add is exactly that contract.
+    return std::atomic_ref<std::int64_t>(global_register)
+        .fetch_add(increment, std::memory_order_acq_rel);
+  }
   const std::int64_t old = global_register;
   global_register += increment;
   return old;
 }
 
 std::int64_t Thread::psm(std::int64_t& memory_word, std::int64_t increment) {
-  ++rt_.ps_ops_;
+  rt_.ps_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (rt_.mode_ == ExecMode::kParallel) {
+    return std::atomic_ref<std::int64_t>(memory_word)
+        .fetch_add(increment, std::memory_order_acq_rel);
+  }
   const std::int64_t old = memory_word;
   memory_word += increment;
   return old;
@@ -23,31 +34,83 @@ std::int64_t Thread::psm(std::int64_t& memory_word, std::int64_t increment) {
 
 void Thread::sspawn(const std::function<void(Thread&)>& body) {
   XU_CHECK_MSG(rt_.in_parallel_, "sspawn is only legal inside a spawn");
+  std::lock_guard<std::mutex> lk(rt_.extra_mu_);
   rt_.extra_.push_back(body);
 }
 
 void Runtime::spawn(std::int64_t low, std::int64_t high,
                     const std::function<void(Thread&)>& body) {
   XU_CHECK_MSG(!in_parallel_, "nested spawn must use sspawn");
-  ++spawns_;
+  spawns_.fetch_add(1, std::memory_order_relaxed);
   if (high < low) return;  // empty section: broadcast and immediate join
   in_parallel_ = true;
-  next_extra_id_ = high + 1;
+  next_extra_id_.store(high + 1, std::memory_order_relaxed);
+  if (mode_ == ExecMode::kParallel) {
+    run_parallel(low, high, body);
+  } else {
+    run_serial(low, high, body);
+  }
+  in_parallel_ = false;
+}
+
+void Runtime::run_serial(std::int64_t low, std::int64_t high,
+                         const std::function<void(Thread&)>& body) {
   for (std::int64_t id = low; id <= high; ++id) {
     Thread t(*this, id);
     body(t);
-    ++threads_run_;
+    threads_run_.fetch_add(1, std::memory_order_relaxed);
   }
   // Threads added by sspawn run before the join; they may sspawn further.
+  // The body is copied out first: its own sspawn may reallocate extra_.
   std::size_t i = 0;
   while (i < extra_.size()) {
-    Thread t(*this, next_extra_id_++);
-    extra_[i](t);
-    ++threads_run_;
+    Thread t(*this, next_extra_id_.fetch_add(1, std::memory_order_relaxed));
+    const std::function<void(Thread&)> body_i = extra_[i];
+    body_i(t);
+    threads_run_.fetch_add(1, std::memory_order_relaxed);
     ++i;
   }
   extra_.clear();
-  in_parallel_ = false;
+}
+
+void Runtime::run_parallel(std::int64_t low, std::int64_t high,
+                           const std::function<void(Thread&)>& body) {
+  auto& pool = xpar::ThreadPool::global();
+  // One virtual thread per ID, chunked onto the pool. This is the host
+  // analogue of the MTCU broadcasting the section: finishing lanes grab
+  // more IDs (by stealing) just as finishing TCUs grab them from the
+  // hardware prefix-sum unit.
+  pool.parallel_for(low, high + 1, 0, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t id = b; id < e; ++id) {
+      Thread t(*this, id);
+      body(t);
+    }
+    threads_run_.fetch_add(static_cast<std::uint64_t>(e - b),
+                           std::memory_order_relaxed);
+  });
+  // sspawned threads run in waves until no wave adds more, mirroring the
+  // hardware raising the broadcast bound Y before the join.
+  std::vector<std::function<void(Thread&)>> wave;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(extra_mu_);
+      wave.swap(extra_);
+    }
+    if (wave.empty()) break;
+    const std::int64_t base = next_extra_id_.fetch_add(
+        static_cast<std::int64_t>(wave.size()), std::memory_order_relaxed);
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(wave.size()), 1,
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i) {
+            Thread t(*this, base + i);
+            wave[static_cast<std::size_t>(i)](t);
+          }
+          threads_run_.fetch_add(static_cast<std::uint64_t>(e - b),
+                                 std::memory_order_relaxed);
+        });
+    wave.clear();
+  }
 }
 
 }  // namespace xmtc

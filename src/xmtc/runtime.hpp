@@ -8,18 +8,37 @@
 // parallel section with an extra thread, as the hardware does by raising
 // the broadcast bound Y.
 //
-// Execution is deterministic: thread bodies run to completion in ID order.
-// For the programs this library writes (PRAM-style, race-free within a
-// spawn except through ps/psm), this is an admissible arbitrary-CRCW
-// schedule, so results match any legal parallel execution.
+// Two executors, selected per Runtime:
+//
+//  - ExecMode::kSerial (default): thread bodies run to completion in ID
+//    order on the calling thread. Fully deterministic — ps/psm hand out
+//    values in ID order — which is what the trace-capturing ISA layer and
+//    the statistics tests rely on.
+//  - ExecMode::kParallel: thread bodies are dispatched onto the xpar
+//    work-stealing pool, the host analogue of the hardware broadcasting a
+//    section to the TCUs. ps/psm become relaxed fetch-and-add
+//    (std::atomic_ref), sspawn feeds the pool in waves, and the statistics
+//    counters stay exact (atomic). ps/psm return values are then some
+//    admissible arbitrary-CRCW serialization rather than the ID-ordered
+//    one; programs that are race-free within a spawn except through
+//    ps/psm (all of this library) compute the same result either way.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <vector>
 
 namespace xmtc {
 
 class Runtime;
+
+/// Which executor a Runtime drives its parallel sections with.
+enum class ExecMode {
+  kSerial,    ///< ID-ordered, single-threaded, deterministic ps/psm order
+  kParallel,  ///< xpar pool-backed; ps/psm are atomic fetch-and-add
+};
 
 /// Handle a thread body receives: its ID plus the XMT primitives.
 class Thread {
@@ -35,8 +54,10 @@ class Thread {
   std::int64_t psm(std::int64_t& memory_word, std::int64_t increment);
 
   /// Single-spawn: adds one more thread to the current parallel section
-  /// (nested parallelism). The new thread receives the next unused ID and
-  /// runs before the section joins.
+  /// (nested parallelism). The new thread receives a fresh ID and runs
+  /// before the section joins. In serial mode IDs are assigned in
+  /// submission order; in parallel mode transitively-sspawned threads are
+  /// numbered in wave order (IDs within a concurrent wave are arbitrary).
   void sspawn(const std::function<void(Thread&)>& body);
 
  private:
@@ -49,25 +70,45 @@ class Thread {
 /// The serial-mode master (MTCU) view: issues parallel sections.
 class Runtime {
  public:
+  Runtime() = default;
+  explicit Runtime(ExecMode mode) : mode_(mode) {}
+
+  [[nodiscard]] ExecMode mode() const { return mode_; }
+
   /// Runs one virtual thread for every ID in [low, high] and joins.
   /// Matches XMTC's spawn(low, high) { ... } construct.
   void spawn(std::int64_t low, std::int64_t high,
              const std::function<void(Thread&)>& body);
 
-  /// Statistics for tests and reporting.
-  [[nodiscard]] std::uint64_t spawns() const { return spawns_; }
-  [[nodiscard]] std::uint64_t threads_run() const { return threads_run_; }
-  [[nodiscard]] std::uint64_t ps_ops() const { return ps_ops_; }
+  /// Statistics for tests and reporting; exact in both modes.
+  [[nodiscard]] std::uint64_t spawns() const {
+    return spawns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t threads_run() const {
+    return threads_run_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t ps_ops() const {
+    return ps_ops_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Thread;
-  std::uint64_t spawns_ = 0;
-  std::uint64_t threads_run_ = 0;
-  std::uint64_t ps_ops_ = 0;
+  void run_serial(std::int64_t low, std::int64_t high,
+                  const std::function<void(Thread&)>& body);
+  void run_parallel(std::int64_t low, std::int64_t high,
+                    const std::function<void(Thread&)>& body);
 
-  // State of the in-flight parallel section (sspawn appends).
+  ExecMode mode_ = ExecMode::kSerial;
+  std::atomic<std::uint64_t> spawns_{0};
+  std::atomic<std::uint64_t> threads_run_{0};
+  std::atomic<std::uint64_t> ps_ops_{0};
+
+  // State of the in-flight parallel section (sspawn appends). in_parallel_
+  // is written only by the master outside the section, so body reads of it
+  // are ordered by the spawn/join edges.
   bool in_parallel_ = false;
-  std::int64_t next_extra_id_ = 0;
+  std::atomic<std::int64_t> next_extra_id_{0};
+  std::mutex extra_mu_;
   std::vector<std::function<void(Thread&)>> extra_;
 };
 

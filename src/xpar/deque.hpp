@@ -1,0 +1,130 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005; memory orders after
+// Lê, Pop, Cohen & Zappa Nardelli, PPoPP 2013).
+//
+// One owner thread pushes and pops at the bottom; any number of thieves
+// steal from the top. The hot paths are a handful of atomic operations with
+// no locks, which is what lets the pool's parallel_for scale to fine
+// grains: a worker splits a range by pushing the far half onto its own
+// deque and idle workers pull from the other end.
+//
+// Two deliberate deviations from the letter of the 2013 formulation:
+//  - slots are std::atomic<T*> and top_/bottom_ use seq_cst on the
+//    contended edges instead of relying on standalone fences. ThreadSanitizer
+//    models atomic operations precisely but not standalone fences, and this
+//    repository runs its `par` test label under TSan; the conservative
+//    orders keep that build free of false positives at a cost that is
+//    irrelevant next to an FFT row.
+//  - the ring grows by retiring the old array until the deque is destroyed
+//    (a thief may still be reading it); growth doubles, so retired memory
+//    is bounded by 2x the high-water mark.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xpar {
+
+template <typename T>
+class WsDeque {
+ public:
+  /// `capacity` must be a power of two (initial ring size; grows on demand).
+  explicit WsDeque(std::size_t capacity = 256)
+      : ring_(new Ring(capacity)) {
+    retired_.reserve(8);
+  }
+
+  ~WsDeque() { delete ring_.load(std::memory_order_relaxed); }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner only: pushes one item at the bottom.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(r->mask)) {
+      r = grow(r, t, b);
+    }
+    r->at(b).store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: pops the most recently pushed item, or nullptr.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* const r = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Empty: restore the canonical state.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = r->at(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steals the oldest item, or returns nullptr when the deque
+  /// is empty or the steal lost a race (callers retry elsewhere).
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* const r = ring_.load(std::memory_order_acquire);
+    T* item = r->at(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Approximate size; exact only when quiescent (used by tests).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t n)
+        : mask(n - 1), slots(new std::atomic<T*>[n]) {}
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+    [[nodiscard]] std::atomic<T*>& at(std::int64_t i) {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+  };
+
+  /// Owner only: doubles the ring, copying the live window [t, b).
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Ring((old->mask + 1) * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->at(i).store(old->at(i).load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    ring_.store(bigger, std::memory_order_release);
+    retired_.emplace_back(old);  // thieves may still hold the old pointer
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_;
+  std::vector<std::unique_ptr<Ring>> retired_;  // owner-only
+};
+
+}  // namespace xpar

@@ -1,0 +1,251 @@
+#include "xpar/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xpar {
+
+namespace {
+
+/// Identifies the worker lane of the current thread, so parallel_for can
+/// tell "called from inside this pool" (split onto own deque) from "called
+/// from outside" (inject and help by stealing).
+struct LaneTag {
+  ThreadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local LaneTag tl_lane;
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> slot;
+  return slot;
+}
+
+}  // namespace
+
+/// A parallel_for invocation in flight. Lives on the caller's stack; tasks
+/// hold a pointer. `pending` counts iterations not yet executed — it hits
+/// zero exactly once, after every body call returned, at which point the
+/// finisher sets `done` under the mutex and wakes the owner.
+struct ThreadPool::Job {
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  std::int64_t grain = 1;
+  std::atomic<std::int64_t> pending{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;  // first body exception, guarded by mu
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : lanes_(threads == 0 ? default_thread_count() : std::max(threads, 1u)) {
+  const unsigned workers = lanes_ - 1;
+  deques_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    deques_.push_back(std::make_unique<WsDeque<Task>>());
+  }
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& w : workers_) w.join();
+  // No jobs may be in flight at destruction; drain stray injected tasks
+  // defensively (they would only exist if that contract were violated).
+  for (Task* t : inject_) delete t;
+}
+
+unsigned ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("XMTFFT_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(std::min(v, 256L));
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_global_mu);
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(0);
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(unsigned threads) {
+  const unsigned want = threads == 0 ? default_thread_count() : threads;
+  std::lock_guard<std::mutex> lk(g_global_mu);
+  auto& slot = global_slot();
+  if (slot && slot->threads() == want) return;
+  slot.reset();  // joins the old workers first
+  slot = std::make_unique<ThreadPool>(want);
+}
+
+std::int64_t ThreadPool::auto_grain(std::int64_t n) const {
+  // ~8 chunks per lane: enough slack for stealing to balance, coarse
+  // enough that split overhead stays invisible.
+  return std::max<std::int64_t>(1, n / (static_cast<std::int64_t>(lanes_) * 8));
+}
+
+void ThreadPool::inject(Task* task) {
+  {
+    std::lock_guard<std::mutex> lk(inject_mu_);
+    inject_.push_back(task);
+  }
+  std::lock_guard<std::mutex> lk(sleep_mu_);
+  sleep_cv_.notify_all();
+}
+
+ThreadPool::Task* ThreadPool::try_acquire(int self) {
+  if (self >= 0) {
+    if (Task* t = deques_[static_cast<std::size_t>(self)]->pop()) return t;
+  }
+  {
+    std::lock_guard<std::mutex> lk(inject_mu_);
+    if (!inject_.empty()) {
+      Task* t = inject_.front();
+      inject_.pop_front();
+      return t;
+    }
+  }
+  // Steal sweep over the other workers' deques. Starting offset rotates
+  // with the lane index so thieves do not convoy on victim 0.
+  const std::size_t n = deques_.size();
+  const std::size_t start = self >= 0 ? static_cast<std::size_t>(self) + 1 : 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (start + k) % n;
+    if (self >= 0 && victim == static_cast<std::size_t>(self)) continue;
+    if (Task* t = deques_[victim]->steal()) return t;
+  }
+  return nullptr;
+}
+
+bool ThreadPool::run_one(int self) {
+  Task* t = try_acquire(self);
+  if (t == nullptr) return false;
+  run_task(t, self);
+  return true;
+}
+
+void ThreadPool::run_task(Task* task, int self) {
+  Job* const job = task->job;
+  std::int64_t b = task->begin;
+  std::int64_t e = task->end;
+  delete task;
+  // Recursive halving: keep the near half, expose the far half to thieves.
+  // Split points depend only on (b, e, grain), never on timing, which is
+  // half of the pool's determinism contract (pool.hpp).
+  while (e - b > job->grain) {
+    const std::int64_t mid = b + (e - b) / 2;
+    auto* right = new Task{job, mid, e};
+    if (self >= 0) {
+      deques_[static_cast<std::size_t>(self)]->push(right);
+      sleep_cv_.notify_one();  // lossy hint; sleepers re-poll on timeout
+    } else {
+      inject(right);
+    }
+    e = mid;
+  }
+  try {
+    (*job->body)(b, e);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(job->mu);
+    if (!job->error) job->error = std::current_exception();
+  }
+  const std::int64_t n = e - b;
+  if (job->pending.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    std::lock_guard<std::mutex> lk(job->mu);
+    job->done = true;
+    job->cv.notify_all();
+  }
+}
+
+void ThreadPool::worker_main(unsigned self) {
+  tl_lane = LaneTag{this, static_cast<int>(self)};
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (run_one(static_cast<int>(self))) continue;
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    // Timed nap instead of a precise wakeup protocol: pushes onto peer
+    // deques are signaled lossily, so sleepers re-poll for steals on a
+    // short timeout. Bounded idle latency, zero hot-path bookkeeping.
+    sleep_cv_.wait_for(lk, std::chrono::microseconds(500));
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  const std::int64_t n = end - begin;
+  const std::int64_t g = grain > 0 ? grain : auto_grain(n);
+  if (n <= g) {
+    body(begin, end);
+    return;
+  }
+  if (workers_.empty()) {
+    // Size-1 pool: no tasks, but the body must observe the exact chunk
+    // boundaries (and first-exception-after-all-chunks semantics) of the
+    // threaded path — the determinism contract covers the chunking itself,
+    // not just the union of indices. A LIFO stack replays the halving
+    // split in owner execution order.
+    std::exception_ptr error;
+    std::vector<std::pair<std::int64_t, std::int64_t>> stack;
+    stack.emplace_back(begin, end);
+    while (!stack.empty()) {
+      auto [b, e] = stack.back();
+      stack.pop_back();
+      while (e - b > g) {
+        const std::int64_t mid = b + (e - b) / 2;
+        stack.emplace_back(mid, e);
+        e = mid;
+      }
+      try {
+        body(b, e);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  Job job;
+  job.body = &body;
+  job.grain = g;
+  job.pending.store(n, std::memory_order_relaxed);
+
+  const int self =
+      tl_lane.pool == this ? tl_lane.index : -1;
+  auto* root = new Task{&job, begin, end};
+  // From a worker lane (nested parallelism) the root splits straight onto
+  // the worker's own deque; from outside it goes through the inject queue.
+  run_task(root, self);
+
+  // Help until the job drains: execute whatever is available (including
+  // other jobs' tasks — all tasks terminate, so this cannot deadlock).
+  while (job.pending.load(std::memory_order_acquire) > 0) {
+    if (!run_one(self)) {
+      std::unique_lock<std::mutex> lk(job.mu);
+      job.cv.wait_for(lk, std::chrono::microseconds(200),
+                      [&] { return job.done; });
+    }
+  }
+  {
+    // The finisher sets `done` under job.mu; taking the lock once more
+    // guarantees it has released it before the Job leaves scope.
+    std::unique_lock<std::mutex> lk(job.mu);
+    job.cv.wait(lk, [&] { return job.done; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace xpar

@@ -1,0 +1,158 @@
+// Pool-backed XMTC runtime: PRAM semantics under real concurrency.
+//
+// ExecMode::kParallel dispatches spawn bodies onto the xpar pool; these
+// tests pin down what survives the change of executor — ps/psm hand out a
+// permutation of the serial values (arbitrary-CRCW), statistics counters
+// stay exact, sspawn waves assign unique IDs — and that the XMTC FFT is
+// bit-for-bit the serial result.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xfft/fftnd.hpp"
+#include "xmtc/fft_xmtc.hpp"
+#include "xmtc/runtime.hpp"
+#include "xpar/pool.hpp"
+#include "xutil/rng.hpp"
+
+namespace {
+
+class ParallelRuntime : public ::testing::Test {
+ protected:
+  void SetUp() override { xpar::ThreadPool::set_global_threads(8); }
+  void TearDown() override { xpar::ThreadPool::set_global_threads(0); }
+};
+
+TEST_F(ParallelRuntime, SpawnRunsEveryIdExactlyOnce) {
+  xmtc::Runtime rt(xmtc::ExecMode::kParallel);
+  constexpr std::int64_t kIds = 5000;
+  std::vector<std::atomic<int>> hits(kIds);
+  for (auto& h : hits) h.store(0);
+  rt.spawn(0, kIds - 1, [&](xmtc::Thread& t) {
+    hits[static_cast<std::size_t>(t.id())].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(rt.spawns(), 1u);
+  EXPECT_EQ(rt.threads_run(), static_cast<std::uint64_t>(kIds));
+}
+
+TEST_F(ParallelRuntime, PsUnderContentionIsAPermutationOfSerialValues) {
+  xmtc::Runtime rt(xmtc::ExecMode::kParallel);
+  constexpr std::int64_t kThreads = 4000;
+  std::int64_t reg = 0;
+  std::vector<std::int64_t> got(kThreads, -1);
+  rt.spawn(0, kThreads - 1, [&](xmtc::Thread& t) {
+    got[static_cast<std::size_t>(t.id())] = t.ps(reg, 1);
+  });
+  // The register holds the exact total and every thread saw a distinct
+  // previous value in [0, kThreads): an admissible serialization.
+  EXPECT_EQ(reg, kThreads);
+  std::sort(got.begin(), got.end());
+  for (std::int64_t i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(rt.ps_ops(), static_cast<std::uint64_t>(kThreads));
+}
+
+TEST_F(ParallelRuntime, PsmContentionStressManyOpsPerThread) {
+  xmtc::Runtime rt(xmtc::ExecMode::kParallel);
+  constexpr std::int64_t kThreads = 512;
+  constexpr std::int64_t kOpsPerThread = 64;
+  std::int64_t word = 0;
+  rt.spawn(0, kThreads - 1, [&](xmtc::Thread& t) {
+    for (std::int64_t i = 0; i < kOpsPerThread; ++i) {
+      (void)t.psm(word, t.id() % 3 + 1);
+    }
+  });
+  std::int64_t expected = 0;
+  for (std::int64_t id = 0; id < kThreads; ++id) {
+    expected += (id % 3 + 1) * kOpsPerThread;
+  }
+  EXPECT_EQ(word, expected);
+  EXPECT_EQ(rt.ps_ops(),
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+}
+
+TEST_F(ParallelRuntime, SspawnWavesAssignUniqueIdsAndAllRun) {
+  xmtc::Runtime rt(xmtc::ExecMode::kParallel);
+  constexpr std::int64_t kBase = 100;
+  // Every base thread sspawns one child; every child sspawns a grandchild
+  // for even base IDs — two waves, 100 + 100 + 50 threads total.
+  std::atomic<std::int64_t> children{0};
+  std::atomic<std::int64_t> grandchildren{0};
+  std::vector<std::atomic<int>> id_seen(kBase + kBase + kBase / 2);
+  for (auto& s : id_seen) s.store(0);
+  rt.spawn(0, kBase - 1, [&](xmtc::Thread& t) {
+    id_seen[static_cast<std::size_t>(t.id())].fetch_add(1);
+    const bool spawn_grandchild = t.id() % 2 == 0;
+    t.sspawn([&, spawn_grandchild](xmtc::Thread& c) {
+      id_seen[static_cast<std::size_t>(c.id())].fetch_add(1);
+      children.fetch_add(1);
+      if (spawn_grandchild) {
+        c.sspawn([&](xmtc::Thread& g) {
+          id_seen[static_cast<std::size_t>(g.id())].fetch_add(1);
+          grandchildren.fetch_add(1);
+        });
+      }
+    });
+  });
+  EXPECT_EQ(children.load(), kBase);
+  EXPECT_EQ(grandchildren.load(), kBase / 2);
+  EXPECT_EQ(rt.threads_run(),
+            static_cast<std::uint64_t>(kBase + kBase + kBase / 2));
+  // IDs are dense — base section [0, 100), then the waves — each exactly once.
+  for (const auto& s : id_seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST_F(ParallelRuntime, XmtcFftBitEqualToSerialRuntime) {
+  const xfft::Dims3 dims{16, 8, 8};
+  std::vector<xfft::Cf> input(dims.total());
+  xutil::Pcg32 rng(5);
+  for (auto& v : input) {
+    v = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+
+  auto serial = input;
+  xmtc::Runtime rt_serial;  // default: ExecMode::kSerial
+  const auto stats_serial = xmtc::fftnd_xmtc(
+      rt_serial, std::span<xfft::Cf>(serial), dims, xfft::Direction::kForward);
+
+  auto parallel = input;
+  xmtc::Runtime rt_parallel(xmtc::ExecMode::kParallel);
+  const auto stats_parallel =
+      xmtc::fftnd_xmtc(rt_parallel, std::span<xfft::Cf>(parallel), dims,
+                       xfft::Direction::kForward);
+
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].real(), parallel[i].real()) << "at " << i;
+    EXPECT_EQ(serial[i].imag(), parallel[i].imag()) << "at " << i;
+  }
+  EXPECT_EQ(stats_serial.spawns, stats_parallel.spawns);
+  EXPECT_EQ(stats_serial.threads, stats_parallel.threads);
+  EXPECT_EQ(stats_serial.twiddle_reads, stats_parallel.twiddle_reads);
+  EXPECT_EQ(stats_serial.table_decimations, stats_parallel.table_decimations);
+}
+
+TEST_F(ParallelRuntime, Fft1dParallelRoundTrips) {
+  constexpr std::size_t kN = 512;
+  std::vector<xfft::Cf> data(kN);
+  xutil::Pcg32 rng(11);
+  for (auto& v : data) {
+    v = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+  const auto original = data;
+  xmtc::Runtime rt(xmtc::ExecMode::kParallel);
+  (void)xmtc::fft1d_xmtc(rt, std::span<xfft::Cf>(data),
+                         xfft::Direction::kForward);
+  (void)xmtc::fft1d_xmtc(rt, std::span<xfft::Cf>(data),
+                         xfft::Direction::kInverse);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-4f);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-4f);
+  }
+}
+
+}  // namespace

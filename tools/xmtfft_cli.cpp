@@ -32,6 +32,7 @@
 #include "xfault/resilient_fft.hpp"
 #include "xfft/fftnd.hpp"
 #include "xfft/plan_cache.hpp"
+#include "xpar/pool.hpp"
 #include "xroof/roofline.hpp"
 #include "xsim/fft_on_machine.hpp"
 #include "xsim/perf_model.hpp"
@@ -60,7 +61,10 @@ int usage() {
       "noc:link:degrade:<f>x[:<sel>],soft:flip:<rate>\n"
       "  check    [--seed N] [--trials N] [--corpus <dir>] [--replay <dir>]\n"
       "           [--canary <scale>] [--properties] [--lower f] [--upper f]"
-      " [--floor cycles]");
+      " [--floor cycles]\n"
+      "  any command also takes --threads N (host worker threads for FFT\n"
+      "  execution, fuzz trials, sweeps; default: $XMTFFT_THREADS, else all\n"
+      "  cores; results are identical at any thread count)");
   return 2;
 }
 
@@ -418,6 +422,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const xutil::Flags flags(argc - 2, argv + 2);
   try {
+    if (flags.has("threads")) {
+      xpar::ThreadPool::set_global_threads(
+          static_cast<unsigned>(flags.get_int("threads", 0)));
+    }
     if (cmd == "configs") {
       flags.reject_unused();
       return cmd_configs();
