@@ -1,0 +1,258 @@
+// Soak harness for the xserve FFT job service (the robustness acceptance
+// gate): bursty mixed healthy/transiently-faulted open-loop traffic for a
+// wall-clock budget, with three invariants checked continuously and at
+// shutdown:
+//
+//   1. zero hangs       — every wait() returns, the final drain completes;
+//   2. zero lost requests — each accepted id yields exactly one outcome and
+//                           the server's counters reconcile with what the
+//                           callers observed (conservation);
+//   3. monotone counters — a sampler thread snapshots ServerStats
+//                           concurrently with the traffic and asserts every
+//                           cumulative counter only ever grows (and the
+//                           queue never exceeds its capacity).
+//
+// Exits 0 when all invariants hold; prints the violated invariant and exits
+// 1 otherwise. Runs in CI both in the default build and under TSan (the
+// sampler makes it a genuine concurrency test, not just a load test).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xfft/types.hpp"
+#include "xserve/serve.hpp"
+#include "xutil/flags.hpp"
+#include "xutil/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Tally {
+  std::map<xserve::ServeStatus, std::uint64_t> by_status;
+  std::uint64_t waited = 0;
+};
+
+/// True when `b` has every cumulative counter >= `a`'s.
+bool monotone(const xserve::ServerStats& a, const xserve::ServerStats& b,
+              std::string* what) {
+  const auto check = [&](const char* name, std::uint64_t x, std::uint64_t y) {
+    if (y < x) {
+      *what = std::string(name) + " went backwards (" + std::to_string(x) +
+              " -> " + std::to_string(y) + ")";
+      return false;
+    }
+    return true;
+  };
+  bool ok = check("submitted", a.submitted, b.submitted) &&
+            check("accepted", a.accepted, b.accepted) &&
+            check("rejected_overload", a.rejected_overload,
+                  b.rejected_overload) &&
+            check("rejected_invalid", a.rejected_invalid,
+                  b.rejected_invalid) &&
+            check("ok", a.ok, b.ok) &&
+            check("deadline_exceeded", a.deadline_exceeded,
+                  b.deadline_exceeded) &&
+            check("cancelled", a.cancelled, b.cancelled) &&
+            check("fault_exhausted", a.fault_exhausted, b.fault_exhausted) &&
+            check("failed_invalid", a.failed_invalid, b.failed_invalid) &&
+            check("retries", a.retries, b.retries) &&
+            check("sheds", a.sheds, b.sheds) &&
+            check("peak_queue_depth", a.peak_queue_depth,
+                  b.peak_queue_depth);
+  for (unsigned r = 0; ok && r < xserve::kRungCount; ++r) {
+    ok = check(xserve::rung_name(static_cast<xserve::Rung>(r)), a.per_rung[r],
+               b.per_rung[r]);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const xutil::Flags flags(argc - 1, argv + 1);
+  const double seconds = flags.get_double("seconds", 10.0);
+  const double rps = flags.get_double("rps", 800.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double fault_fraction = flags.get_double("fault-fraction", 0.25);
+  const std::string fault_spec =
+      flags.get("faults", "soft:flip:" + flags.get("soft-rate", "2e-4"));
+  std::size_t nx = 1024;
+  std::size_t ny = 1;
+  std::size_t nz = 1;
+  xutil::parse_dims(flags.get("size", "1024"), &nx, &ny, &nz);
+  const xfft::Dims3 dims{nx, ny, nz};
+  const std::chrono::nanoseconds deadline{
+      static_cast<std::int64_t>(flags.get_double("deadline-ms", 25.0) * 1e6)};
+  xserve::ServerOptions sopt;
+  sopt.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("capacity", 32));
+  sopt.seed = seed;
+  flags.reject_unused();
+
+  std::vector<xfft::Cf> base(dims.total());
+  xutil::Pcg32 rng(seed, 0x50a7);
+  for (auto& v : base) {
+    v = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+
+  xserve::FftServer server(sopt);
+  std::string violation;
+  std::mutex vio_mu;
+  const auto report_violation = [&](const std::string& what) {
+    const std::lock_guard<std::mutex> lock(vio_mu);
+    if (violation.empty()) violation = what;
+  };
+
+  // Collector: waits on accepted ids as the submitter hands them over, so
+  // the submitter's open-loop pacing never blocks on slow completions.
+  std::mutex ids_mu;
+  std::deque<std::uint64_t> pending;
+  bool submitting_done = false;
+  Tally tally;
+  std::thread collector([&] {
+    for (;;) {
+      std::uint64_t id = 0;
+      {
+        const std::lock_guard<std::mutex> lock(ids_mu);
+        if (!pending.empty()) {
+          id = pending.front();
+          pending.pop_front();
+        } else if (submitting_done) {
+          return;
+        }
+      }
+      if (id == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      const auto out = server.wait(id);
+      ++tally.by_status[out.status];
+      ++tally.waited;
+    }
+  });
+
+  // Sampler: concurrent monotonicity witness.
+  std::atomic<bool> sampling_done{false};
+  std::thread sampler([&] {
+    xserve::ServerStats prev = server.stats();
+    while (!sampling_done) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(37));
+      const auto cur = server.stats();
+      std::string what;
+      if (!monotone(prev, cur, &what)) report_violation("sampler: " + what);
+      if (cur.queue_depth > sopt.queue_capacity) {
+        report_violation("queue depth " + std::to_string(cur.queue_depth) +
+                         " exceeds capacity");
+      }
+      prev = cur;
+    }
+  });
+
+  // Bursty open-loop submission: a tick every 20 ms delivers that tick's
+  // arrivals back to back, which actually builds queue depth (and thus
+  // exercises the shedding ladder) even when one FFT is fast.
+  const auto tick = std::chrono::milliseconds(20);
+  const auto per_tick = static_cast<std::size_t>(
+      rps * std::chrono::duration<double>(tick).count() + 0.5);
+  const auto t_end =
+      Clock::now() + std::chrono::nanoseconds(
+                         static_cast<std::int64_t>(seconds * 1e9));
+  std::uint64_t submitted = 0;
+  auto next_tick = Clock::now();
+  while (Clock::now() < t_end) {
+    for (std::size_t i = 0; i < per_tick; ++i) {
+      xserve::JobRequest req;
+      req.dims = dims;
+      req.data = base;
+      req.deadline = deadline;
+      req.seed = seed + submitted;
+      if (rng.next_double() < fault_fraction) req.faults = fault_spec;
+      const auto adm = server.submit(std::move(req));
+      ++submitted;
+      if (adm.accepted()) {
+        const std::lock_guard<std::mutex> lock(ids_mu);
+        pending.push_back(adm.id);
+      }
+    }
+    next_tick += tick;
+    std::this_thread::sleep_until(next_tick);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(ids_mu);
+    submitting_done = true;
+  }
+
+  // Invariant 1: the drain terminates (no hung jobs) and the collector's
+  // waits all return.
+  if (!server.drain_for(std::chrono::seconds(60))) {
+    report_violation("drain_for timed out: jobs hung");
+  }
+  collector.join();
+  sampling_done = true;
+  sampler.join();
+
+  const auto s = server.stats();
+  // Invariant 2: conservation — nothing lost, nothing double counted.
+  if (s.submitted != submitted) {
+    report_violation("submitted mismatch");
+  }
+  if (s.accepted != tally.waited) {
+    report_violation("accepted " + std::to_string(s.accepted) +
+                     " != outcomes observed " + std::to_string(tally.waited));
+  }
+  if (s.accepted != s.completed()) {
+    report_violation("accepted " + std::to_string(s.accepted) +
+                     " != completed " + std::to_string(s.completed()));
+  }
+  if (s.submitted != s.accepted + s.rejected_overload + s.rejected_invalid) {
+    report_violation("admission counters do not add up");
+  }
+  if (s.ok !=
+      s.per_rung[0] + s.per_rung[1] + s.per_rung[2] + s.per_rung[3]) {
+    report_violation("per-rung completions do not sum to ok");
+  }
+  const auto observed = [&](xserve::ServeStatus st) -> std::uint64_t {
+    const auto it = tally.by_status.find(st);
+    return it == tally.by_status.end() ? 0 : it->second;
+  };
+  if (observed(xserve::ServeStatus::kOk) != s.ok ||
+      observed(xserve::ServeStatus::kDeadlineExceeded) !=
+          s.deadline_exceeded ||
+      observed(xserve::ServeStatus::kCancelled) != s.cancelled ||
+      observed(xserve::ServeStatus::kFaultExhausted) != s.fault_exhausted ||
+      observed(xserve::ServeStatus::kInvalid) != s.failed_invalid) {
+    report_violation("per-status outcomes disagree with server counters");
+  }
+
+  std::printf(
+      "soak: %llu submitted, %llu accepted, %llu ok "
+      "(%llu par / %llu serial / %llu q15 / %llu est), "
+      "%llu deadline, %llu fault-exhausted, %llu shed at admission, "
+      "%llu retries, peak depth %zu/%zu, p50 %.3f ms, p99 %.3f ms\n",
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.ok),
+      static_cast<unsigned long long>(s.per_rung[0]),
+      static_cast<unsigned long long>(s.per_rung[1]),
+      static_cast<unsigned long long>(s.per_rung[2]),
+      static_cast<unsigned long long>(s.per_rung[3]),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.fault_exhausted),
+      static_cast<unsigned long long>(s.rejected_overload),
+      static_cast<unsigned long long>(s.retries), s.peak_queue_depth,
+      sopt.queue_capacity, s.p50_latency_seconds * 1e3,
+      s.p99_latency_seconds * 1e3);
+  if (!violation.empty()) {
+    std::fprintf(stderr, "soak: INVARIANT VIOLATED: %s\n", violation.c_str());
+    return 1;
+  }
+  std::puts("soak: PASS (zero hangs, zero lost requests, monotone counters)");
+  return 0;
+}

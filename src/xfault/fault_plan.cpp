@@ -72,6 +72,27 @@ bool FaultPlan::empty() const {
          noc_degrade_factor == 1.0 && soft_flip_rate == 0.0;
 }
 
+const char* fault_class_name(FaultClass c) {
+  switch (c) {
+    case FaultClass::kNone:
+      return "none";
+    case FaultClass::kTransient:
+      return "transient";
+    case FaultClass::kPermanent:
+      return "permanent";
+  }
+  return "?";
+}
+
+FaultClass classify(const FaultPlan& plan) {
+  const bool structural = plan.tcu_kill != 0.0 || plan.cluster_kill != 0.0 ||
+                          plan.dram_chan_fail != 0.0 ||
+                          plan.noc_degrade_factor != 1.0;
+  if (structural) return FaultClass::kPermanent;
+  return plan.soft_flip_rate > 0.0 ? FaultClass::kTransient
+                                   : FaultClass::kNone;
+}
+
 FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
   FaultPlan plan;
   plan.seed = seed;

@@ -57,6 +57,25 @@ struct FaultPlan {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Retry-policy classification of a fault plan. Soft errors are transient:
+/// a retry reruns the computation under fresh upset conditions and can
+/// succeed. Machine faults (dead TCUs/clusters, failed DRAM channels,
+/// degraded NoC links) are permanent: the hardware stays broken across
+/// retries, so a request that cannot be satisfied on the degraded machine
+/// never will be, and a retry loop must not burn its budget discovering
+/// that. A plan combining both classes is permanent — the retryable part
+/// cannot heal the broken part.
+enum class FaultClass {
+  kNone,       ///< empty plan — the perfect machine
+  kTransient,  ///< soft errors only; retry with backoff is worthwhile
+  kPermanent,  ///< structural faults present; retrying cannot help
+};
+
+[[nodiscard]] const char* fault_class_name(FaultClass c);
+
+/// Classifies `plan` for the retry policy (see FaultClass).
+[[nodiscard]] FaultClass classify(const FaultPlan& plan);
+
 /// Plain-integer description of the machine the plan is materialized on
 /// (kept free of xsim types so xsim can depend on xfault, not vice versa).
 struct MachineShape {

@@ -8,9 +8,38 @@
 
 namespace xfft {
 
+namespace {
+
+/// Chunked loop shared by the pool and serial execution paths. The pool
+/// path delegates to the cancellation-aware parallel_for; the serial path
+/// replays the same work inline in fixed chunks so a deadline still aborts
+/// with chunk granularity. Bodies write disjoint outputs per index, so both
+/// paths produce byte-identical results (absent cancellation).
+void for_chunks(const ExecOptions& exec, std::int64_t begin, std::int64_t end,
+                std::int64_t grain,
+                const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (!exec.serial) {
+    xpar::ThreadPool::global().parallel_for(begin, end, grain, body,
+                                            exec.cancel);
+    return;
+  }
+  const std::int64_t g = grain > 0 ? grain : 64;
+  for (std::int64_t lo = begin; lo < end; lo += g) {
+    if (exec.cancel != nullptr && exec.cancel->expired()) return;
+    body(lo, std::min(end, lo + g));
+  }
+}
+
+bool exec_expired(const ExecOptions& exec) {
+  return exec.cancel != nullptr && exec.cancel->expired();
+}
+
+}  // namespace
+
 template <typename T>
 void rotate_axes(std::span<const std::complex<T>> src,
-                 std::span<std::complex<T>> dst, Dims3 dims) {
+                 std::span<std::complex<T>> dst, Dims3 dims,
+                 const ExecOptions& exec) {
   XU_CHECK(src.size() == dims.total() && dst.size() == dims.total());
   XU_CHECK_MSG(src.data() != dst.data(), "rotate_axes must not alias");
   const std::size_t d0 = dims.nx;
@@ -20,8 +49,8 @@ void rotate_axes(std::span<const std::complex<T>> src,
   // pool over the (i2, i1) plane: each tile of source rows writes a
   // disjoint comb of dst, so the parallel rotation is byte-identical to
   // the serial one at any thread count.
-  xpar::parallel_for(
-      0, static_cast<std::int64_t>(d2 * d1), 0,
+  for_chunks(
+      exec, 0, static_cast<std::int64_t>(d2 * d1), 0,
       [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t idx = lo; idx < hi; ++idx) {
           const auto i2 = static_cast<std::size_t>(idx) / d1;
@@ -33,6 +62,12 @@ void rotate_axes(std::span<const std::complex<T>> src,
           }
         }
       });
+}
+
+template <typename T>
+void rotate_axes(std::span<const std::complex<T>> src,
+                 std::span<std::complex<T>> dst, Dims3 dims) {
+  rotate_axes(src, dst, dims, ExecOptions{});
 }
 
 template <typename T>
@@ -80,38 +115,52 @@ std::uint64_t PlanND<T>::actual_flops() const {
 }
 
 template <typename T>
-void PlanND<T>::apply_scaling(std::span<std::complex<T>> data) const {
+void PlanND<T>::apply_scaling(std::span<std::complex<T>> data,
+                              const ExecOptions& exec) const {
   if (dir_ == Direction::kInverse && opt_.scaling == Scaling::kUnitary1OverN) {
     const T s = T(1) / static_cast<T>(dims_.total());
-    xpar::parallel_for(0, static_cast<std::int64_t>(data.size()), 0,
-                       [&](std::int64_t lo, std::int64_t hi) {
-                         for (std::int64_t i = lo; i < hi; ++i) {
-                           data[static_cast<std::size_t>(i)] *= s;
-                         }
-                       });
+    for_chunks(exec, 0, static_cast<std::int64_t>(data.size()), 0,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   data[static_cast<std::size_t>(i)] *= s;
+                 }
+               });
   }
 }
 
 template <typename T>
 void PlanND<T>::execute(std::span<std::complex<T>> data) const {
+  execute(data, ExecOptions{});
+}
+
+template <typename T>
+void PlanND<T>::execute(std::span<std::complex<T>> data,
+                        const ExecOptions& exec) const {
   XU_CHECK_MSG(data.size() == dims_.total(),
                "buffer length " << data.size() << " != " << dims_.total());
   if (dims_.rank() == 1) {
     // No rotation needed for 1-D; run the row plan directly.
-    if (dims_.nx > 1) axis_plan(0).execute(data);
-    apply_scaling(data);
+    if (dims_.nx > 1) {
+      axis_plan(0).execute(
+          data, std::span<std::complex<T>>(scratch_.data(), scratch_.size()),
+          exec.cancel);
+    }
+    if (exec_expired(exec)) return;
+    apply_scaling(data, exec);
     return;
   }
   if (opt_.rotation == RotationMode::kFusedRotation) {
-    execute_fused(data);
+    execute_fused(data, exec);
   } else {
-    execute_separate(data);
+    execute_separate(data, exec);
   }
-  apply_scaling(data);
+  if (exec_expired(exec)) return;
+  apply_scaling(data, exec);
 }
 
 template <typename T>
-void PlanND<T>::execute_separate(std::span<std::complex<T>> data) const {
+void PlanND<T>::execute_separate(std::span<std::complex<T>> data,
+                                 const ExecOptions& exec) const {
   Dims3 cur = dims_;
   std::complex<T>* src = data.data();
   std::complex<T>* dst = scratch_.data();
@@ -123,22 +172,26 @@ void PlanND<T>::execute_separate(std::span<std::complex<T>> data) const {
       const std::size_t rows = n / cur.nx;
       const std::size_t len = cur.nx;
       // Pencil parallelism: each chunk of rows runs on one lane with its
-      // own reorder scratch (the shared plan is read-only in execution).
-      xpar::parallel_for(
-          0, static_cast<std::int64_t>(rows), 0,
+      // own reorder scratch, reused across every row of the chunk (the
+      // shared plan is read-only in execution).
+      for_chunks(
+          exec, 0, static_cast<std::int64_t>(rows), 0,
           [&](std::int64_t lo, std::int64_t hi) {
             xutil::AlignedVector<std::complex<T>> row_scratch(len);
             const std::span<std::complex<T>> scratch_span(row_scratch.data(),
                                                           len);
             for (std::int64_t row = lo; row < hi; ++row) {
+              if (exec_expired(exec)) return;
               plan.execute(std::span<std::complex<T>>(
                                src + static_cast<std::size_t>(row) * len, len),
                            scratch_span);
             }
           });
     }
+    if (exec_expired(exec)) return;
     rotate_axes(std::span<const std::complex<T>>(src, n),
-                std::span<std::complex<T>>(dst, n), cur);
+                std::span<std::complex<T>>(dst, n), cur, exec);
+    if (exec_expired(exec)) return;
     std::swap(src, dst);
     cur = Dims3{cur.ny, cur.nz, cur.nx};
   }
@@ -149,7 +202,8 @@ void PlanND<T>::execute_separate(std::span<std::complex<T>> data) const {
 }
 
 template <typename T>
-void PlanND<T>::execute_fused(std::span<std::complex<T>> data) const {
+void PlanND<T>::execute_fused(std::span<std::complex<T>> data,
+                              const ExecOptions& exec) const {
   Dims3 cur = dims_;
   std::complex<T>* src = data.data();
   std::complex<T>* dst = scratch_.data();
@@ -166,10 +220,11 @@ void PlanND<T>::execute_fused(std::span<std::complex<T>> data) const {
       // synchronization inside a pass.
       const std::size_t stride = cur.ny * cur.nz;
       const std::size_t len = cur.nx;
-      xpar::parallel_for(
-          0, static_cast<std::int64_t>(rows), 0,
+      for_chunks(
+          exec, 0, static_cast<std::int64_t>(rows), 0,
           [&](std::int64_t lo, std::int64_t hi) {
             for (std::int64_t row = lo; row < hi; ++row) {
+              if (exec_expired(exec)) return;
               plan.execute_scatter_affine(
                   std::span<std::complex<T>>(
                       src + static_cast<std::size_t>(row) * len, len),
@@ -179,8 +234,9 @@ void PlanND<T>::execute_fused(std::span<std::complex<T>> data) const {
           });
     } else {
       rotate_axes(std::span<const std::complex<T>>(src, n),
-                  std::span<std::complex<T>>(dst, n), cur);
+                  std::span<std::complex<T>>(dst, n), cur, exec);
     }
+    if (exec_expired(exec)) return;
     std::swap(src, dst);
     cur = Dims3{cur.ny, cur.nz, cur.nx};
   }
@@ -191,6 +247,10 @@ void PlanND<T>::execute_fused(std::span<std::complex<T>> data) const {
 
 template void rotate_axes<float>(std::span<const Cf>, std::span<Cf>, Dims3);
 template void rotate_axes<double>(std::span<const Cd>, std::span<Cd>, Dims3);
+template void rotate_axes<float>(std::span<const Cf>, std::span<Cf>, Dims3,
+                                 const ExecOptions&);
+template void rotate_axes<double>(std::span<const Cd>, std::span<Cd>, Dims3,
+                                  const ExecOptions&);
 template class PlanND<float>;
 template class PlanND<double>;
 

@@ -32,6 +32,21 @@ enum class RotationMode {
   kFusedRotation,  ///< last iteration scatters into the rotated array
 };
 
+/// Per-execution controls threaded through PlanND (and from there into the
+/// chunk loops and Plan1D stages). Distinct from the plan-time Options:
+/// the same cached plan serves requests with different deadlines and on
+/// different degradation rungs.
+struct ExecOptions {
+  /// Polled at chunk/pass boundaries; on expiry the remaining work is
+  /// skipped and the data buffer is left unspecified. Callers must check
+  /// the token after execute() and discard the buffer when it expired.
+  const xutil::CancelToken* cancel = nullptr;
+  /// True bypasses the xpar pool entirely and runs every chunk inline on
+  /// the calling thread — the service layer's first degradation rung
+  /// (shedding parallelism keeps pool lanes free for other requests).
+  bool serial = false;
+};
+
 /// Rotates axes of a 3-D array: dst[i0][i2][i1] = src[i2][i1][i0], where
 /// src has logical dims [d2][d1][d0] with d0 fastest. After the rotation the
 /// previously second-fastest axis (d1) is fastest, so row FFTs on dst
@@ -40,6 +55,12 @@ enum class RotationMode {
 template <typename T>
 void rotate_axes(std::span<const std::complex<T>> src,
                  std::span<std::complex<T>> dst, Dims3 dims);
+
+/// Cancellation/serial-aware variant; see ExecOptions.
+template <typename T>
+void rotate_axes(std::span<const std::complex<T>> src,
+                 std::span<std::complex<T>> dst, Dims3 dims,
+                 const ExecOptions& exec);
 
 /// In-place N-dimensional FFT plan (rank 1, 2 or 3), natural layout in and
 /// out (x fastest). Like Plan1D, a plan is reusable but not concurrently
@@ -65,6 +86,12 @@ class PlanND {
   /// Transforms `data` (length dims.total(), x fastest) in place.
   void execute(std::span<std::complex<T>> data) const;
 
+  /// Same, with per-execution controls: a cooperative cancellation token
+  /// polled at chunk and pass boundaries, and a serial mode that keeps the
+  /// whole transform on the calling thread. On token expiry the method
+  /// returns early with `data` unspecified — check exec.cancel afterwards.
+  void execute(std::span<std::complex<T>> data, const ExecOptions& exec) const;
+
   [[nodiscard]] Dims3 dims() const { return dims_; }
   [[nodiscard]] Direction direction() const { return dir_; }
   [[nodiscard]] RotationMode rotation_mode() const { return opt_.rotation; }
@@ -74,9 +101,12 @@ class PlanND {
   [[nodiscard]] const Plan1D<T>& axis_plan(int axis) const;
 
  private:
-  void execute_separate(std::span<std::complex<T>> data) const;
-  void execute_fused(std::span<std::complex<T>> data) const;
-  void apply_scaling(std::span<std::complex<T>> data) const;
+  void execute_separate(std::span<std::complex<T>> data,
+                        const ExecOptions& exec) const;
+  void execute_fused(std::span<std::complex<T>> data,
+                     const ExecOptions& exec) const;
+  void apply_scaling(std::span<std::complex<T>> data,
+                     const ExecOptions& exec) const;
 
   Dims3 dims_;
   Direction dir_;
@@ -97,6 +127,10 @@ extern template void rotate_axes<float>(std::span<const Cf>, std::span<Cf>,
                                         Dims3);
 extern template void rotate_axes<double>(std::span<const Cd>, std::span<Cd>,
                                          Dims3);
+extern template void rotate_axes<float>(std::span<const Cf>, std::span<Cf>,
+                                        Dims3, const ExecOptions&);
+extern template void rotate_axes<double>(std::span<const Cd>, std::span<Cd>,
+                                         Dims3, const ExecOptions&);
 extern template class PlanND<float>;
 extern template class PlanND<double>;
 

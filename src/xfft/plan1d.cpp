@@ -69,7 +69,8 @@ Plan1D<T>::Plan1D(std::size_t n, Direction dir, PlanOptions opt)
 }
 
 template <typename T>
-void Plan1D<T>::run_stages(std::span<std::complex<T>> data) const {
+void Plan1D<T>::run_stages(std::span<std::complex<T>> data,
+                           const xutil::CancelToken* cancel) const {
   XU_CHECK_MSG(data.size() == n_, "buffer length " << data.size()
                                                    << " != plan size " << n_);
   if (n_ == 1) return;
@@ -77,6 +78,10 @@ void Plan1D<T>::run_stages(std::span<std::complex<T>> data) const {
   std::complex<T> v[kMaxRadix];
   std::size_t block = n_;
   for (const unsigned r : radices_) {
+    // Stage-granularity cancellation: a deadline aborts between butterfly
+    // passes (each O(n)), leaving the buffer in a partial state the caller
+    // has agreed to discard.
+    if (cancel != nullptr && cancel->expired()) return;
     const std::size_t sub = block / r;
     const std::size_t tw_stride = n_ / block;
     if (r == 8) {
@@ -121,10 +126,12 @@ void Plan1D<T>::execute(std::span<std::complex<T>> data) const {
 
 template <typename T>
 void Plan1D<T>::execute(std::span<std::complex<T>> data,
-                        std::span<std::complex<T>> scratch) const {
+                        std::span<std::complex<T>> scratch,
+                        const xutil::CancelToken* cancel) const {
   XU_CHECK_MSG(n_ <= 1 || scratch.size() >= n_,
                "scratch length " << scratch.size() << " < plan size " << n_);
-  run_stages(data);
+  run_stages(data, cancel);
+  if (cancel != nullptr && cancel->expired()) return;
   if (n_ > 1) {
     for (std::size_t k = 0; k < n_; ++k) scratch[k] = data[perm_[k]];
     std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(n_),

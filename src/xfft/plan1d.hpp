@@ -11,6 +11,7 @@
 #include "xfft/twiddle.hpp"
 #include "xfft/types.hpp"
 #include "xutil/aligned.hpp"
+#include "xutil/cancel.hpp"
 
 namespace xfft {
 
@@ -49,8 +50,14 @@ class Plan1D {
   /// concurrency-safe entry point: the plan's tables are read-only during
   /// execution, so any number of threads may run this on the same plan as
   /// long as each brings its own scratch (the pencil-parallel N-D path).
+  ///
+  /// A non-null `cancel` token is polled between butterfly stages; once it
+  /// expires the remaining stages and the reorder are skipped and `data` is
+  /// left unspecified. Callers that pass a token must check it after the
+  /// call and discard the buffer on expiry (the xserve deadline path).
   void execute(std::span<std::complex<T>> data,
-               std::span<std::complex<T>> scratch) const;
+               std::span<std::complex<T>> scratch,
+               const xutil::CancelToken* cancel = nullptr) const;
 
   /// Runs only the butterfly stages; output left in digit-reversed order.
   /// Callers composing their own reorder (e.g. the fused-rotation 3-D path)
@@ -86,7 +93,8 @@ class Plan1D {
   [[nodiscard]] std::uint64_t actual_flops() const { return flops_; }
 
  private:
-  void run_stages(std::span<std::complex<T>> data) const;
+  void run_stages(std::span<std::complex<T>> data,
+                  const xutil::CancelToken* cancel = nullptr) const;
   void apply_scaling(std::span<std::complex<T>> data) const;
 
   std::size_t n_;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "xpar/deque.hpp"
+#include "xutil/cancel.hpp"
 
 namespace xpar {
 
@@ -62,6 +63,28 @@ class ThreadPool {
   /// by a body is rethrown here after the join.
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// Cancellation-aware variant: every chunk polls `cancel` before running
+  /// its body and is skipped once the token is expired, so a deadline or a
+  /// cancel() bounds the work issued after it to the chunks already in
+  /// flight. The split (and therefore chunk boundaries) is identical to the
+  /// plain overload; the call still joins every spawned task. Callers must
+  /// check the token afterwards — skipped chunks leave their output range
+  /// untouched. A null token degrades to the plain overload.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body,
+                    const xutil::CancelToken* cancel) {
+    if (cancel == nullptr) {
+      parallel_for(begin, end, grain, body);
+      return;
+    }
+    if (cancel->expired()) return;
+    parallel_for(begin, end, grain,
+                 [&body, cancel](std::int64_t b, std::int64_t e) {
+                   if (cancel->expired()) return;
+                   body(b, e);
+                 });
+  }
 
   /// Deterministic reduction: cuts [begin, end) into fixed chunks of
   /// `grain` (<= 0 picks 1024 — thread-count independent on purpose),
@@ -129,6 +152,13 @@ inline void parallel_for(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t)>& body) {
   ThreadPool::global().parallel_for(begin, end, grain, body);
+}
+
+inline void parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    const xutil::CancelToken* cancel) {
+  ThreadPool::global().parallel_for(begin, end, grain, body, cancel);
 }
 
 template <typename T, typename MapFn, typename CombineFn>

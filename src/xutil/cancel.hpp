@@ -1,0 +1,71 @@
+// Cooperative cancellation / deadline token.
+//
+// The service layer (xserve) enforces per-request deadlines by handing the
+// execution layers a CancelToken; long-running loops (xpar::parallel_for
+// chunks, Plan1D butterfly stages, PlanND passes) poll expired() at natural
+// chunk boundaries and return early. Cancellation is therefore cooperative
+// and best-effort by design: a token only bounds how much work runs after
+// the deadline, it never interrupts a butterfly mid-flight, and a caller
+// that observes expired() must treat the data buffer as unspecified.
+//
+// The token is safe to share across threads: cancel()/set_deadline() may
+// race with expired() checks from pool workers. All loads are relaxed —
+// the only consumer action on expiry is to stop issuing work, so no
+// happens-before edge is needed beyond the join the caller already has.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace xutil {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Requests cancellation; idempotent, thread-safe.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() has been called (deadline expiry excluded), so
+  /// callers can distinguish Cancelled from DeadlineExceeded.
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms (or moves) the absolute deadline.
+  void set_deadline(Clock::time_point t) noexcept {
+    deadline_ns_.store(t.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// True when cancelled or past the deadline — the poll loops call this.
+  [[nodiscard]] bool expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const auto d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadline) return false;
+    return Clock::now().time_since_epoch().count() >= d;
+  }
+
+  /// Time budget left before the deadline; Clock::duration::max() when no
+  /// deadline is armed, zero when already expired.
+  [[nodiscard]] Clock::duration remaining() const noexcept {
+    const auto d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadline) return Clock::duration::max();
+    const auto now = Clock::now().time_since_epoch().count();
+    return Clock::duration(now >= d ? 0 : d - now);
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace xutil

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Pins the xmtfft_cli exit-code taxonomy documented in the CLI header,
+# usage(), and docs/architecture.md section 10:
+#   0 ok, 1 harness failure, 2 usage, 3 invalid input,
+#   4 deadline exceeded (watchdog), 5 fault budget exhausted.
+# Usage: test_exit_codes.sh <path-to-xmtfft_cli>
+set -u
+CLI="$1"
+fail=0
+
+expect() {
+  want="$1"
+  shift
+  "$@" > /dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: exit $got, want $want: $*"
+    fail=1
+  else
+    echo "ok: exit $got: $*"
+  fi
+}
+
+# usage errors: no command, unknown command
+expect 2 "$CLI"
+expect 2 "$CLI" frobnicate
+
+# invalid input: unknown flag, size with a prime factor above the max radix
+expect 3 "$CLI" fft --size 1024 --bogus 1
+expect 3 "$CLI" fft --size 134
+
+# deadline: an absurdly small cycle limit trips the simulator watchdog
+expect 4 "$CLI" machine --clusters 4 --size 64x64 --cycle-limit 50
+
+# fault exhaustion: a soft-error rate the bounded recovery cannot beat
+expect 5 "$CLI" faults --clusters 4 --size 64x16 \
+  --faults soft:flip:0.05 --seed 1
+
+# success
+expect 0 "$CLI" fft --size 64
+
+exit $fail

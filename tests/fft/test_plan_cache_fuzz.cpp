@@ -5,6 +5,7 @@
 #include "test_helpers.hpp"
 #include "xfft/dft_reference.hpp"
 #include "xfft/plan_cache.hpp"
+#include "xutil/check.hpp"
 #include "xutil/rng.hpp"
 
 namespace {
@@ -50,6 +51,48 @@ TEST(PlanCache, ClearKeepsOutstandingPlansAlive) {
   EXPECT_EQ(cache.size(), 0u);
   auto x = random_signal(64, 1);
   EXPECT_NO_THROW(plan->execute(std::span<Cf>(x)));  // still valid
+}
+
+TEST(PlanCache, LruEvictsLeastRecentlyUsedAcrossBothKeySpaces) {
+  // Capacity 2: insert A and B, touch A (a hit refreshes recency), insert
+  // C — B is the LRU victim, A and C stay resident.
+  PlanCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  const auto a = cache.plan_1d(64, Direction::kForward);
+  const auto b = cache.plan_1d(128, Direction::kForward);
+  (void)cache.plan_1d(64, Direction::kForward);  // touch A
+  EXPECT_EQ(cache.hits(), 1u);
+  // C is an N-D plan: recency ordering spans both key spaces.
+  (void)cache.plan_nd(Dims3{8, 8, 1}, Direction::kForward);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  // A still resident (hit); B was evicted (miss rebuilds a fresh plan).
+  const auto a2 = cache.plan_1d(64, Direction::kForward);
+  EXPECT_EQ(a2.get(), a.get());
+  EXPECT_EQ(cache.hits(), 2u);
+  const auto b2 = cache.plan_1d(128, Direction::kForward);
+  EXPECT_NE(b2.get(), b.get());
+  EXPECT_EQ(cache.evictions(), 2u);  // reinserting B evicted the next LRU
+
+  // The evicted plan stays alive and usable through its shared_ptr.
+  auto x = random_signal(128, 3);
+  EXPECT_NO_THROW(b->execute(std::span<Cf>(x)));
+}
+
+TEST(PlanCache, SetCapacityShrinksAndEvictsInLruOrder) {
+  PlanCache cache(8);
+  (void)cache.plan_1d(32, Direction::kForward);
+  (void)cache.plan_1d(64, Direction::kForward);
+  (void)cache.plan_1d(128, Direction::kForward);
+  (void)cache.plan_1d(32, Direction::kForward);  // refresh 32
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // The survivor is the most recently used entry.
+  (void)cache.plan_1d(32, Direction::kForward);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_THROW(cache.set_capacity(0), xutil::Error);
 }
 
 TEST(PlanCache, CachedConvenienceCallsMatchDirectPlans) {

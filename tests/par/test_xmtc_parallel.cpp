@@ -16,6 +16,8 @@
 #include "xmtc/fft_xmtc.hpp"
 #include "xmtc/runtime.hpp"
 #include "xpar/pool.hpp"
+#include "xsim/fft_traffic.hpp"
+#include "xsim/machine.hpp"
 #include "xutil/rng.hpp"
 
 namespace {
@@ -134,6 +136,43 @@ TEST_F(ParallelRuntime, XmtcFftBitEqualToSerialRuntime) {
   EXPECT_EQ(stats_serial.threads, stats_parallel.threads);
   EXPECT_EQ(stats_serial.twiddle_reads, stats_parallel.twiddle_reads);
   EXPECT_EQ(stats_serial.table_decimations, stats_parallel.table_decimations);
+}
+
+TEST_F(ParallelRuntime, WatchdogDeadlockErrorPropagatesThroughParallelSpawn) {
+  // The typed watchdog failure must survive the executor change: a
+  // DeadlockError thrown inside a pool-dispatched spawn body is rethrown
+  // (with its diagnostics intact) from the spawn call, exactly as under
+  // ExecMode::kSerial — not swallowed by a worker thread.
+  xsim::MachineConfig cfg;
+  cfg.name = "par-watchdog";
+  cfg.clusters = 8;
+  cfg.tcus = 8 * 32;
+  cfg.memory_modules = 8;
+  cfg.mot_levels = 4;
+  cfg.butterfly_levels = 2;
+  cfg.mms_per_dram_ctrl = 2;
+  cfg.fpus_per_cluster = 1;
+  cfg.cache_bytes_per_mm = 8 * 1024;
+  cfg.validate();
+  auto mopt = xsim::MachineOptions{};
+  mopt.cycle_limit = 100;
+  mopt.throw_on_cycle_limit = true;
+
+  xmtc::Runtime rt(xmtc::ExecMode::kParallel);
+  try {
+    rt.spawn(0, 7, [&](xmtc::Thread& t) {
+      if (t.id() != 0) return;  // one body drives the machine to the limit
+      xsim::Machine m(cfg, mopt);
+      (void)m.run_parallel_section(
+          4096, xsim::make_uniform_generator(64, 64, 1 << 20, 17));
+    });
+    FAIL() << "expected DeadlockError through the parallel executor";
+  } catch (const xsim::DeadlockError& e) {
+    EXPECT_EQ(e.cycle_limit, 100u);
+    EXPECT_EQ(e.threads_total, 4096u);
+    EXPECT_LT(e.threads_completed, e.threads_total);
+    EXPECT_NE(std::string(e.what()).find("cycle limit"), std::string::npos);
+  }
 }
 
 TEST_F(ParallelRuntime, Fft1dParallelRoundTrips) {

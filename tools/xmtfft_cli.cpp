@@ -20,10 +20,23 @@
 //       failures shrunk to minimal reproducers. --replay <dir> re-runs a
 //       saved corpus; --canary <scale> mis-calibrates the model on purpose
 //       (a scale well below 1 must be caught).
+//   xmtfft_cli serve --requests 200 --rps 2000 [--capacity 32] [...]
+//       Replays a synthetic open-loop traffic trace through the xserve FFT
+//       job service and prints the outcome/latency/degradation table.
+//
+// Exit codes (stable; scripts and tests depend on them):
+//   0  success
+//   1  harness failure (differential check, property suite, recovery miss)
+//   2  usage error (unknown command or malformed flags)
+//   3  invalid input (validation rejected a size, config, or fault spec)
+//   4  deadline exceeded (simulator watchdog tripped its cycle limit)
+//   5  fault plan exhausted the recovery/retry budget
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <thread>
 
 #include "xcheck/corpus.hpp"
 #include "xcheck/fuzzer.hpp"
@@ -34,6 +47,7 @@
 #include "xfft/plan_cache.hpp"
 #include "xpar/pool.hpp"
 #include "xroof/roofline.hpp"
+#include "xserve/serve.hpp"
 #include "xsim/fft_on_machine.hpp"
 #include "xsim/perf_model.hpp"
 #include "xutil/check.hpp"
@@ -45,15 +59,26 @@
 
 namespace {
 
+// Exit-code taxonomy; keep in sync with the header comment, usage(), and
+// docs/architecture.md section 10 (tests/cli/test_exit_codes.sh pins it).
+constexpr int kExitOk = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInvalid = 3;
+constexpr int kExitDeadline = 4;
+constexpr int kExitFaults = 5;
+
 int usage() {
   std::puts(
-      "usage: xmtfft_cli <configs|simulate|roofline|machine|fft|faults|check>"
+      "usage: xmtfft_cli"
+      " <configs|simulate|roofline|machine|fft|faults|check|serve>"
       " [flags]\n"
       "  configs\n"
       "  simulate --config {4k,8k,64k,128k_x2,128k_x4} --size 512^3"
       " [--radix 8]\n"
       "  roofline --config <name> --size <dims>\n"
-      "  machine  --clusters N [--mot L] [--bf L] --size <dims>\n"
+      "  machine  --clusters N [--mot L] [--bf L] --size <dims>"
+      " [--cycle-limit N]\n"
       "  fft      --size N [--inverse]\n"
       "  faults   --faults <spec> [--seed N] [--config <name> | --clusters N]"
       " --size <dims>\n"
@@ -62,10 +87,15 @@ int usage() {
       "  check    [--seed N] [--trials N] [--corpus <dir>] [--replay <dir>]\n"
       "           [--canary <scale>] [--properties] [--lower f] [--upper f]"
       " [--floor cycles]\n"
+      "  serve    [--requests N] [--rps R] [--capacity Q] [--size <dims>]\n"
+      "           [--deadline-ms D] [--faults <spec>] [--fault-fraction f]"
+      " [--seed N]\n"
       "  any command also takes --threads N (host worker threads for FFT\n"
       "  execution, fuzz trials, sweeps; default: $XMTFFT_THREADS, else all\n"
-      "  cores; results are identical at any thread count)");
-  return 2;
+      "  cores; results are identical at any thread count)\n"
+      "exit codes: 0 ok, 1 harness failure, 2 usage, 3 invalid input,\n"
+      "  4 deadline exceeded (watchdog), 5 fault budget exhausted");
+  return kExitUsage;
 }
 
 xsim::MachineConfig config_by_name(const std::string& name) {
@@ -177,9 +207,12 @@ int cmd_machine(const xutil::Flags& flags) {
   std::size_t nz = 1;
   xutil::parse_dims(flags.get("size", "64x64"), &nx, &ny, &nz);
   const auto radix = static_cast<unsigned>(flags.get_int("radix", 8));
+  xsim::MachineOptions mopt;
+  mopt.cycle_limit = static_cast<std::uint64_t>(flags.get_int(
+      "cycle-limit", static_cast<std::int64_t>(mopt.cycle_limit)));
   flags.reject_unused();
 
-  xsim::Machine machine(c);
+  xsim::Machine machine(c, mopt);
   const auto r = xsim::run_fft_on_machine(machine, xfft::Dims3{nx, ny, nz},
                                           radix);
   xutil::Table t("CYCLE-LEVEL RUN ON " + c.name + " (" +
@@ -197,7 +230,13 @@ int cmd_machine(const xutil::Flags& flags) {
                  r.standard_gflops(xfft::Dims3{nx, ny, nz}, 3.3e9), 2) +
              " GFLOPS (5NlogN)");
   std::fputs(t.render().c_str(), stdout);
-  return 0;
+  if (r.truncated) {
+    std::fprintf(stderr,
+                 "error: watchdog tripped at %llu cycles; results truncated\n",
+                 static_cast<unsigned long long>(mopt.cycle_limit));
+    return kExitDeadline;
+  }
+  return kExitOk;
 }
 
 int cmd_fft(const xutil::Flags& flags) {
@@ -276,7 +315,7 @@ int run_resilience_harness(xfft::Dims3 dims, double soft_rate,
       static_cast<unsigned long long>(rep.rows_recomputed),
       static_cast<unsigned long long>(rep.retries_exhausted), rel,
       pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return pass ? kExitOk : kExitFaults;
 }
 
 int cmd_faults(const xutil::Flags& flags) {
@@ -415,6 +454,111 @@ int cmd_check(const xutil::Flags& flags) {
   return summary.pass() ? 0 : 1;
 }
 
+/// Replays a synthetic open-loop traffic trace through the xserve service:
+/// requests arrive on a fixed schedule regardless of completions (so a slow
+/// server visibly sheds instead of silently slowing the generator down),
+/// a configurable fraction carries a transient fault plan, and the final
+/// table reconciles per-request outcomes against the server's own counters.
+int cmd_serve(const xutil::Flags& flags) {
+  const auto requests =
+      static_cast<std::size_t>(flags.get_int("requests", 200));
+  const double rps = flags.get_double("rps", 2000.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  std::size_t nx = 4096;
+  std::size_t ny = 1;
+  std::size_t nz = 1;
+  xutil::parse_dims(flags.get("size", "4096"), &nx, &ny, &nz);
+  const xfft::Dims3 dims{nx, ny, nz};
+  const std::chrono::nanoseconds deadline{
+      static_cast<std::int64_t>(flags.get_double("deadline-ms", 50.0) * 1e6)};
+  const std::string fault_spec = flags.get("faults", "soft:flip:2e-4");
+  const double fault_fraction = flags.get_double("fault-fraction", 0.2);
+  xserve::ServerOptions sopt;
+  sopt.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("capacity", 32));
+  sopt.seed = seed;
+  flags.reject_unused();
+  XU_CHECK_MSG(requests >= 1 && rps > 0.0,
+               "serve needs --requests >= 1 and --rps > 0");
+
+  std::vector<xfft::Cf> base(dims.total());
+  xutil::Pcg32 rng(seed, 0xa11ce);
+  for (auto& v : base) {
+    v = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
+  }
+
+  xserve::FftServer server(sopt);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(requests);
+  const auto period =
+      std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 / rps));
+  auto next_arrival = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    xserve::JobRequest req;
+    req.dims = dims;
+    req.data = base;
+    req.deadline = deadline;
+    req.seed = seed + i;
+    if (rng.next_double() < fault_fraction) req.faults = fault_spec;
+    const auto adm = server.submit(std::move(req));
+    if (adm.accepted()) ids.push_back(adm.id);
+    next_arrival += period;
+    std::this_thread::sleep_until(next_arrival);
+  }
+
+  std::map<xserve::ServeStatus, std::uint64_t> observed;
+  for (const std::uint64_t id : ids) ++observed[server.wait(id).status];
+  server.drain_for(std::chrono::seconds(10));
+  const auto s = server.stats();
+
+  xutil::Table t("FFT SERVICE TRACE: " + std::to_string(requests) +
+                 " requests @ " + xutil::format_fixed(rps, 0) + " rps, " +
+                 xutil::format_dims3(nx, ny, nz));
+  t.set_header({"Outcome", "count"});
+  t.add_row({"ok", std::to_string(s.ok)});
+  t.add_row({"deadline-exceeded", std::to_string(s.deadline_exceeded)});
+  t.add_row({"cancelled", std::to_string(s.cancelled)});
+  t.add_row({"fault-exhausted", std::to_string(s.fault_exhausted)});
+  t.add_row({"rejected overloaded", std::to_string(s.rejected_overload)});
+  t.add_row({"rejected invalid", std::to_string(s.rejected_invalid)});
+  for (unsigned r = 0; r < xserve::kRungCount; ++r) {
+    t.add_row({std::string("  rung ") +
+                   xserve::rung_name(static_cast<xserve::Rung>(r)),
+               std::to_string(s.per_rung[r])});
+  }
+  t.add_note("retries " + std::to_string(s.retries) + ", sheds " +
+             std::to_string(s.sheds) + ", peak queue depth " +
+             std::to_string(s.peak_queue_depth) + "/" +
+             std::to_string(sopt.queue_capacity));
+  t.add_note("latency p50 " +
+             xutil::format_fixed(s.p50_latency_seconds * 1e3, 3) + " ms, p99 " +
+             xutil::format_fixed(s.p99_latency_seconds * 1e3, 3) + " ms");
+  std::fputs(t.render().c_str(), stdout);
+
+  // Conservation: every accepted request produced exactly one outcome and
+  // the server's books agree with what the callers saw.
+  bool consistent = s.submitted == requests &&
+                    s.accepted == ids.size() &&
+                    s.accepted == s.completed() &&
+                    s.ok == s.per_rung[0] + s.per_rung[1] + s.per_rung[2] +
+                                s.per_rung[3];
+  const auto check = [&](xserve::ServeStatus st, std::uint64_t have) {
+    const auto it = observed.find(st);
+    const std::uint64_t want = it == observed.end() ? 0 : it->second;
+    if (want != have) consistent = false;
+  };
+  check(xserve::ServeStatus::kOk, s.ok);
+  check(xserve::ServeStatus::kDeadlineExceeded, s.deadline_exceeded);
+  check(xserve::ServeStatus::kCancelled, s.cancelled);
+  check(xserve::ServeStatus::kFaultExhausted, s.fault_exhausted);
+  if (!consistent) {
+    std::fprintf(stderr, "error: server stats disagree with observed"
+                         " outcomes (lost or double-counted requests)\n");
+    return kExitFail;
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -436,10 +580,16 @@ int main(int argc, char** argv) {
     if (cmd == "fft") return cmd_fft(flags);
     if (cmd == "faults") return cmd_faults(flags);
     if (cmd == "check") return cmd_check(flags);
+    if (cmd == "serve") return cmd_serve(flags);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage();
+  } catch (const xsim::DeadlockError& e) {
+    // Before the generic handler: the watchdog is a deadline failure (4),
+    // not an input-validation one (3).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitDeadline;
   } catch (const xutil::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitInvalid;
   }
 }
