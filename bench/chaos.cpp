@@ -1,0 +1,268 @@
+// Crash-injection chaos harness for the checkpoint/restore layer (the
+// robustness acceptance gate for xckpt): repeatedly SIGKILL a checkpointed
+// cycle-level FFT run at random instants — including inside snapshot writes —
+// resume it, and assert the final DetailedFftResult is BIT-identical to an
+// uninterrupted reference run. A second mode additionally flips a random
+// byte in the newest snapshot generation before resuming and asserts the
+// CRC/fallback machinery engages (an older good generation is used) while
+// the final result still matches bit for bit.
+//
+// The victim runs in a fork()ed child (same binary, no exec), so the kill
+// lands on a real process at a genuinely asynchronous point; the child
+// reports its completed result and observed fallback count through CRC'd
+// snapshot files the parent only reads after a clean exit.
+//
+// Exits 0 when every round converges bit-identically (and, in corrupt
+// rounds, at least one fallback was observed); prints the violation and
+// exits 1 otherwise.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "xckpt/ring.hpp"
+#include "xckpt/snapshot.hpp"
+#include "xfft/types.hpp"
+#include "xsim/ckpt_run.hpp"
+#include "xsim/config.hpp"
+#include "xsim/fft_on_machine.hpp"
+#include "xsim/machine.hpp"
+#include "xutil/flags.hpp"
+#include "xutil/units.hpp"
+#include "xutil/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Canonical byte serialization of a run result; two results are "the same"
+/// iff these byte strings are equal (f64 fields compare by bit pattern, so
+/// this is strictly stronger than field-wise ==).
+std::vector<std::uint8_t> serialize_result(
+    const xsim::DetailedFftResult& r) {
+  xckpt::Writer w;
+  w.u64(r.total_cycles);
+  w.u8(r.truncated ? 1 : 0);
+  w.u64(r.phases.size());
+  for (const auto& ph : r.phases) {
+    w.str(ph.name);
+    xsim::save_result(w, ph.result);
+  }
+  return {w.data().begin(), w.data().end()};
+}
+
+struct ChaosSetup {
+  xsim::MachineConfig config;
+  xfft::Dims3 dims;
+  unsigned radix = 8;
+  std::uint64_t every = 2000;
+  std::string dir;
+};
+
+/// The victim: runs (or resumes) the checkpointed FFT to completion and
+/// drops the serialized result + observed fallback count as CRC'd files the
+/// parent reads after waitpid. Never returns.
+[[noreturn]] void child_main(const ChaosSetup& s) {
+  try {
+    xsim::Machine machine(s.config);
+    xckpt::CheckpointRing ring(s.dir, xckpt::kTagMachineRun, /*keep=*/3);
+    xsim::CheckpointedRunOptions copt;
+    copt.every = s.every;
+    copt.resume = true;
+    const auto st =
+        xsim::run_fft_checkpointed(machine, ring, s.dims, s.radix, {}, copt);
+    xckpt::Writer res;
+    res.vec_u8(serialize_result(st.result));
+    xckpt::write_snapshot_file(s.dir + "/result.xckpt", xckpt::kTagTest,
+                               res.data());
+    xckpt::Writer meta;
+    meta.u64(st.fallbacks);
+    meta.u8(st.resumed ? 1 : 0);
+    xckpt::write_snapshot_file(s.dir + "/meta.xckpt", xckpt::kTagTest,
+                               meta.data());
+    _exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos child: %s\n", e.what());
+    _exit(4);
+  }
+}
+
+/// XORs one byte of the newest on-disk generation (header, payload, or CRC —
+/// wherever `where` lands), simulating silent media corruption.
+bool flip_byte_in_newest(const std::string& dir, std::uint64_t generation,
+                         double where) {
+  char name[64];
+  std::snprintf(name, sizeof name, "/ckpt-%012llu.xckpt",
+                static_cast<unsigned long long>(generation));
+  const std::string path = dir + name;
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return false;
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::int64_t>(f.tellg());
+  if (size <= 0) return false;
+  const auto off = static_cast<std::int64_t>(where * static_cast<double>(size));
+  f.seekg(off);
+  char b = 0;
+  f.get(b);
+  f.seekp(off);
+  f.put(static_cast<char>(b ^ 0x5a));
+  return f.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const xutil::Flags flags(argc - 1, argv + 1);
+  const auto rounds = static_cast<unsigned>(flags.get_int("rounds", 10));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string mode = flags.get("mode", "mixed");  // kill|corrupt|mixed
+  ChaosSetup s;
+  // Same custom scaled configuration the CLI's `machine` command builds, so
+  // the chaos victim exercises the exact production save/restore path.
+  const auto clusters =
+      static_cast<std::size_t>(flags.get_int("clusters", 8));
+  s.config.name = "custom-" + std::to_string(clusters);
+  s.config.clusters = clusters;
+  s.config.tcus = clusters * 32;
+  s.config.memory_modules = clusters;
+  s.config.butterfly_levels = 0;
+  s.config.mot_levels = xutil::log2_exact(s.config.clusters, "--clusters") +
+                        xutil::log2_exact(s.config.memory_modules, "--clusters");
+  s.config.mms_per_dram_ctrl = 2;
+  s.config.fpus_per_cluster = 1;
+  s.config.cache_bytes_per_mm = 32 * 1024;
+  s.config.validate();
+  std::size_t nx = 64;
+  std::size_t ny = 64;
+  std::size_t nz = 1;
+  xutil::parse_dims(flags.get("size", "64x64"), &nx, &ny, &nz);
+  s.dims = xfft::Dims3{nx, ny, nz};
+  s.radix = static_cast<unsigned>(flags.get_int("radix", 8));
+  s.every = static_cast<std::uint64_t>(flags.get_int("every", 2000));
+  s.dir = flags.get("dir", "chaos.ckpt");
+  flags.reject_unused();
+
+  // Uninterrupted reference: the ground truth every chaos round must
+  // reproduce bit for bit, and the wall-clock yardstick for kill delays.
+  const auto t0 = Clock::now();
+  xsim::Machine ref_machine(s.config);
+  const auto ref = xsim::run_fft_on_machine(ref_machine, s.dims, s.radix);
+  const auto ref_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now() - t0)
+                          .count();
+  const auto ref_bytes = serialize_result(ref);
+  std::fprintf(stderr,
+               "chaos: reference %llu cycles in %.1f ms; every=%llu\n",
+               static_cast<unsigned long long>(ref.total_cycles),
+               static_cast<double>(ref_ns) / 1e6,
+               static_cast<unsigned long long>(s.every));
+
+  xutil::Pcg32 rng(seed, 0xc4a0);
+  unsigned kills = 0;
+  unsigned resumes = 0;
+  unsigned corruptions = 0;
+  std::uint64_t fallbacks_seen = 0;
+  unsigned corrupt_rounds = 0;
+
+  for (unsigned round = 0; round < rounds; ++round) {
+    const bool corrupt_round =
+        mode == "corrupt" || (mode == "mixed" && round % 2 == 1);
+    corrupt_rounds += corrupt_round ? 1 : 0;
+    xckpt::CheckpointRing ring(s.dir, xckpt::kTagMachineRun);
+    ring.clear();
+    std::remove((s.dir + "/result.xckpt").c_str());
+    std::remove((s.dir + "/meta.xckpt").c_str());
+
+    unsigned attempt = 0;
+    for (;; ++attempt) {
+      if (attempt > 200) {
+        std::fprintf(stderr, "chaos: round %u never completed\n", round);
+        return 1;
+      }
+      const pid_t pid = fork();
+      if (pid < 0) {
+        std::perror("chaos: fork");
+        return 1;
+      }
+      if (pid == 0) child_main(s);
+
+      // Kill at a random fraction of the reference runtime, stretched by
+      // the attempt number so every round terminates: late attempts get
+      // enough air to finish even if early kills landed before the first
+      // snapshot.
+      const double frac = 0.05 + 0.75 * rng.next_double();
+      const auto delay_ns = static_cast<std::int64_t>(
+          frac * static_cast<double>(ref_ns) * (1.0 + 0.5 * attempt));
+      struct timespec ts;
+      ts.tv_sec = delay_ns / 1'000'000'000;
+      ts.tv_nsec = delay_ns % 1'000'000'000;
+      nanosleep(&ts, nullptr);
+
+      int wstatus = 0;
+      if (waitpid(pid, &wstatus, WNOHANG) == pid) {
+        // Finished before the axe fell.
+        if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+          std::fprintf(stderr, "chaos: round %u child failed (status %d)\n",
+                       round, wstatus);
+          return 1;
+        }
+        break;
+      }
+      kill(pid, SIGKILL);
+      waitpid(pid, &wstatus, 0);
+      ++kills;
+      ++resumes;  // the next attempt is a resume
+
+      // Corrupt rounds: damage the newest generation, but only when an
+      // older one exists to fall back to — corrupting the sole generation
+      // tests fresh restart, not fallback.
+      if (corrupt_round && ring.latest_generation() >= 2) {
+        if (flip_byte_in_newest(s.dir, ring.latest_generation(),
+                                rng.next_double())) {
+          ++corruptions;
+        }
+      }
+    }
+
+    // Child exited 0: its result file is complete (written atomically
+    // before _exit). Compare bit for bit against the reference.
+    const auto res_payload =
+        xckpt::read_snapshot_file(s.dir + "/result.xckpt", xckpt::kTagTest);
+    xckpt::Reader rr(res_payload);
+    const std::vector<std::uint8_t> got = rr.vec_u8();
+    if (got != ref_bytes) {
+      std::fprintf(stderr,
+                   "chaos: round %u result DIVERGED from reference "
+                   "(%zu vs %zu bytes)\n",
+                   round, got.size(), ref_bytes.size());
+      return 1;
+    }
+    const auto meta_payload =
+        xckpt::read_snapshot_file(s.dir + "/meta.xckpt", xckpt::kTagTest);
+    xckpt::Reader mr(meta_payload);
+    fallbacks_seen += mr.u64();
+    std::fprintf(stderr, "chaos: round %u ok after %u kill(s)%s\n", round,
+                 attempt, corrupt_round ? " [corrupt]" : "");
+  }
+
+  std::printf(
+      "chaos: %u rounds bit-identical to reference "
+      "(%u SIGKILLs, %u resumes, %u corruptions injected, "
+      "%llu fallbacks engaged)\n",
+      rounds, kills, resumes, corruptions,
+      static_cast<unsigned long long>(fallbacks_seen));
+  if (corruptions > 0 && fallbacks_seen == 0) {
+    std::fprintf(stderr,
+                 "chaos: corruption was injected but no fallback engaged\n");
+    return 1;
+  }
+  std::puts("chaos: PASS");
+  return 0;
+}

@@ -1,110 +1,48 @@
 // Design-space exploration around the paper's Section V-E choices.
 //
-// Two sweeps on the analytic model at 512^3:
+// Three sweeps on the analytic model at 512^3:
 //  1. FPUs per cluster on the 128k machine — the paper: "We also increase
 //     the number of FPUs to four per cluster; beyond this number, we
 //     observe diminishing returns."
 //  2. MMs per DRAM controller (i.e. off-chip bandwidth) on the 128k
 //     machine — the x2 -> x4 step, and why more DRAM stops helping once
 //     the ICN binds (observation (c)).
+//  3. NoC level splits (denser-network hypotheticals).
+//
+// With --csv <path> every completed design point is durably appended to the
+// CSV as it finishes and a restarted run skips the points already on disk —
+// the rendered tables are byte-identical either way (see durable_sweep.hpp).
 #include <cstdio>
+#include <memory>
 #include <vector>
 
-#include "xpar/pool.hpp"
-#include "xsim/perf_model.hpp"
+#include "durable_sweep.hpp"
+#include "xutil/flags.hpp"
 #include "xutil/string_util.hpp"
 #include "xutil/table.hpp"
 #include "xutil/units.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  const xutil::Flags flags(argc - 1, argv + 1);
+  const std::string csv_path = flags.get("csv", "");
+  flags.reject_unused();
+  std::unique_ptr<xckpt::DurableCsv> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<xckpt::DurableCsv>(csv_path,
+                                              xbench::sweep_csv_header());
+    if (csv->recovered_rows() > 0) {
+      std::fprintf(stderr, "design_space: recovered %zu completed point(s)"
+                           " from %s\n",
+                   csv->recovered_rows(), csv_path.c_str());
+    }
+  }
 
-// Each design point is an independent analytic evaluation; fan the sweep
-// onto the xpar pool and return reports in sweep order, so the serially
-// rendered tables are byte-identical to a serial run.
-std::vector<xsim::FftPerfReport> analyze_all(
-    const std::vector<xsim::MachineConfig>& cfgs, xfft::Dims3 dims) {
-  std::vector<xsim::FftPerfReport> reports(cfgs.size());
-  xpar::parallel_for(0, static_cast<std::int64_t>(cfgs.size()), 1,
-                     [&](std::int64_t lo, std::int64_t hi) {
-                       for (std::int64_t i = lo; i < hi; ++i) {
-                         const auto k = static_cast<std::size_t>(i);
-                         reports[k] =
-                             xsim::FftPerfModel(cfgs[k]).analyze_fft(dims);
-                       }
-                     });
-  return reports;
-}
-
-}  // namespace
-
-int main() {
   const xfft::Dims3 dims{512, 512, 512};
 
-  xutil::Table f("DESIGN SPACE: FPUs PER CLUSTER (128k, DRAM ctrl per MM)");
-  f.set_header({"FPUs/cluster", "peak TFLOPS", "FFT GFLOPS",
-                "gain vs previous", "binding resource (non-rot)"});
+  // Assemble every design point of all three sweeps up front so the whole
+  // exploration fans out onto the pool (and journals) as one unit.
   const std::vector<unsigned> fpu_counts = {1, 2, 4, 8, 16};
-  std::vector<xsim::MachineConfig> fpu_cfgs;
-  for (const unsigned fpus : fpu_counts) {
-    auto cfg = xsim::preset_128k_x4();
-    cfg.fpus_per_cluster = fpus;
-    cfg.validate();
-    fpu_cfgs.push_back(cfg);
-  }
-  const auto fpu_reports = analyze_all(fpu_cfgs, dims);
-  double prev = 0.0;
-  for (std::size_t i = 0; i < fpu_cfgs.size(); ++i) {
-    const unsigned fpus = fpu_counts[i];
-    const auto& cfg = fpu_cfgs[i];
-    const auto& r = fpu_reports[i];
-    const auto& nonrot = r.phases[0];
-    f.add_row({std::to_string(fpus),
-               xutil::format_fixed(cfg.peak_flops_per_sec() / 1e12, 0),
-               xutil::format_gflops(r.standard_gflops),
-               prev > 0.0 ? xutil::format_fixed(
-                                100.0 * (r.standard_gflops / prev - 1.0), 1) +
-                                "%"
-                          : "-",
-               xsim::bound_name(nonrot.bound)});
-    prev = r.standard_gflops;
-  }
-  f.add_note("paper (Section V-E): beyond 4 FPUs per cluster, diminishing "
-             "returns — the NoC takes over as the binding resource");
-  std::fputs(f.render().c_str(), stdout);
-
-  xutil::Table d("DESIGN SPACE: DRAM CHANNELS (128k, 2 FPUs/cluster)");
-  d.set_header({"MMs per ctrl", "channels", "off-chip BW", "FFT GFLOPS",
-                "gain vs previous"});
   const std::vector<unsigned> per_ctrl = {8, 4, 2, 1};
-  std::vector<xsim::MachineConfig> dram_cfgs;
-  for (const unsigned per : per_ctrl) {
-    auto cfg = xsim::preset_128k_x2();
-    cfg.mms_per_dram_ctrl = per;
-    cfg.validate();
-    dram_cfgs.push_back(cfg);
-  }
-  const auto dram_reports = analyze_all(dram_cfgs, dims);
-  prev = 0.0;
-  for (std::size_t i = 0; i < dram_cfgs.size(); ++i) {
-    const unsigned per = per_ctrl[i];
-    const auto& cfg = dram_cfgs[i];
-    const auto& r = dram_reports[i];
-    d.add_row({std::to_string(per), std::to_string(cfg.dram_channels()),
-               xutil::format_bandwidth_bits(cfg.dram_bw_bytes_per_sec() * 8),
-               xutil::format_gflops(r.standard_gflops),
-               prev > 0.0 ? xutil::format_fixed(
-                                100.0 * (r.standard_gflops / prev - 1.0), 1) +
-                                "%"
-                          : "-"});
-    prev = r.standard_gflops;
-  }
-  d.add_note("the last doubling of DRAM bandwidth buys little: rotation "
-             "phases are already NoC-bound (observation (c))");
-  std::fputs(d.render().c_str(), stdout);
-
-  // NoC topology sweep: what would more MoT levels buy the 128k machine?
-  xutil::Table n("DESIGN SPACE: NoC LEVEL SPLIT (128k x4 hypotheticals)");
-  n.set_header({"MoT + butterfly levels", "FFT GFLOPS", "note"});
   struct Split {
     unsigned mot, bf;
     const char* note;
@@ -114,19 +52,78 @@ int main() {
       {8, 8, "denser NoC (future node)"},
       {12, 6, "much denser"},
       {24, 0, "pure MoT (760+ mm^2 per Section II-B scaling)"}};
-  std::vector<xsim::MachineConfig> noc_cfgs;
+
+  std::vector<xbench::SweepPoint> points;
+  for (const unsigned fpus : fpu_counts) {
+    auto cfg = xsim::preset_128k_x4();
+    cfg.fpus_per_cluster = fpus;
+    cfg.validate();
+    points.push_back({"fpus:" + std::to_string(fpus), cfg, dims});
+  }
+  for (const unsigned per : per_ctrl) {
+    auto cfg = xsim::preset_128k_x2();
+    cfg.mms_per_dram_ctrl = per;
+    cfg.validate();
+    points.push_back({"dram:" + std::to_string(per), cfg, dims});
+  }
   for (const auto& s : splits) {
     auto cfg = xsim::preset_128k_x4();
     cfg.mot_levels = s.mot;
     cfg.butterfly_levels = s.bf;
     cfg.validate();
-    noc_cfgs.push_back(cfg);
+    points.push_back({"noc:" + std::to_string(s.mot) + "+" +
+                          std::to_string(s.bf),
+                      cfg, dims});
   }
-  const auto noc_reports = analyze_all(noc_cfgs, dims);
-  for (std::size_t i = 0; i < splits.size(); ++i) {
+  const auto cells = xbench::evaluate_sweep(points, csv.get());
+  std::size_t at = 0;
+
+  xutil::Table f("DESIGN SPACE: FPUs PER CLUSTER (128k, DRAM ctrl per MM)");
+  f.set_header({"FPUs/cluster", "peak TFLOPS", "FFT GFLOPS",
+                "gain vs previous", "binding resource (non-rot)"});
+  double prev = 0.0;
+  for (std::size_t i = 0; i < fpu_counts.size(); ++i, ++at) {
+    const auto& cfg = points[at].cfg;
+    const auto& c = cells[at];
+    f.add_row({std::to_string(fpu_counts[i]),
+               xutil::format_fixed(cfg.peak_flops_per_sec() / 1e12, 0),
+               xutil::format_gflops(c.gflops),
+               prev > 0.0 ? xutil::format_fixed(
+                                100.0 * (c.gflops / prev - 1.0), 1) + "%"
+                          : "-",
+               c.bound0});
+    prev = c.gflops;
+  }
+  f.add_note("paper (Section V-E): beyond 4 FPUs per cluster, diminishing "
+             "returns — the NoC takes over as the binding resource");
+  std::fputs(f.render().c_str(), stdout);
+
+  xutil::Table d("DESIGN SPACE: DRAM CHANNELS (128k, 2 FPUs/cluster)");
+  d.set_header({"MMs per ctrl", "channels", "off-chip BW", "FFT GFLOPS",
+                "gain vs previous"});
+  prev = 0.0;
+  for (std::size_t i = 0; i < per_ctrl.size(); ++i, ++at) {
+    const auto& cfg = points[at].cfg;
+    const auto& c = cells[at];
+    d.add_row({std::to_string(per_ctrl[i]),
+               std::to_string(cfg.dram_channels()),
+               xutil::format_bandwidth_bits(cfg.dram_bw_bytes_per_sec() * 8),
+               xutil::format_gflops(c.gflops),
+               prev > 0.0 ? xutil::format_fixed(
+                                100.0 * (c.gflops / prev - 1.0), 1) + "%"
+                          : "-"});
+    prev = c.gflops;
+  }
+  d.add_note("the last doubling of DRAM bandwidth buys little: rotation "
+             "phases are already NoC-bound (observation (c))");
+  std::fputs(d.render().c_str(), stdout);
+
+  xutil::Table n("DESIGN SPACE: NoC LEVEL SPLIT (128k x4 hypotheticals)");
+  n.set_header({"MoT + butterfly levels", "FFT GFLOPS", "note"});
+  for (std::size_t i = 0; i < splits.size(); ++i, ++at) {
     const auto& s = splits[i];
     n.add_row({std::to_string(s.mot) + " + " + std::to_string(s.bf),
-               xutil::format_gflops(noc_reports[i].standard_gflops), s.note});
+               xutil::format_gflops(cells[at].gflops), s.note});
   }
   n.add_note("the paper's closing point: 'future technology scaling should "
              "allow for a more dense network-on-chip, which would alleviate "

@@ -1,0 +1,90 @@
+// Durable sweep cells for the bench drivers.
+//
+// A sweep's CSV is both its output artifact and its restart journal: every
+// completed design point is appended (with fsync) as soon as it exists, a
+// restarted sweep skips points already on disk, and numeric fields are
+// written with %.17g so a re-rendered table is byte-identical whether its
+// cells were computed this run or recovered from the file.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "xckpt/journal.hpp"
+#include "xpar/pool.hpp"
+#include "xsim/perf_model.hpp"
+
+namespace xbench {
+
+/// One analytic design point of a sweep. `key` must be unique per CSV.
+struct SweepPoint {
+  std::string key;
+  xsim::MachineConfig cfg;
+  xfft::Dims3 dims;
+};
+
+/// The fields the tables need; everything else is derivable from the
+/// configuration.
+struct SweepCell {
+  double gflops = 0.0;
+  double seconds = 0.0;
+  std::string bound0;  ///< binding resource of the first (non-rot) phase
+};
+
+/// Round-trip exact: strtod("%.17g" of x) == x for every finite double.
+inline std::string fmt_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+inline const std::vector<std::string>& sweep_csv_header() {
+  static const std::vector<std::string> header = {"key", "gflops", "seconds",
+                                                  "bound0"};
+  return header;
+}
+
+/// Evaluates every point, reusing rows already present in `csv` (may be
+/// null: plain in-memory sweep). Fresh cells fan out onto the xpar pool;
+/// appends happen serially afterwards, in sweep order.
+inline std::vector<SweepCell> evaluate_sweep(
+    const std::vector<SweepPoint>& points, xckpt::DurableCsv* csv) {
+  std::vector<SweepCell> cells(points.size());
+  std::vector<char> cached(points.size(), 0);
+  if (csv != nullptr) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto row = csv->row(points[i].key);
+      if (row.size() == sweep_csv_header().size()) {
+        cells[i].gflops = std::strtod(row[1].c_str(), nullptr);
+        cells[i].seconds = std::strtod(row[2].c_str(), nullptr);
+        cells[i].bound0 = row[3];
+        cached[i] = 1;
+      }
+    }
+  }
+  xpar::parallel_for(0, static_cast<std::int64_t>(points.size()), 1,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         const auto k = static_cast<std::size_t>(i);
+                         if (cached[k] != 0) continue;
+                         const auto r = xsim::FftPerfModel(points[k].cfg)
+                                            .analyze_fft(points[k].dims);
+                         cells[k].gflops = r.standard_gflops;
+                         cells[k].seconds = r.total_seconds;
+                         cells[k].bound0 =
+                             xsim::bound_name(r.phases[0].bound);
+                       }
+                     });
+  if (csv != nullptr) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (cached[i] != 0) continue;
+      csv->append({points[i].key, fmt_exact(cells[i].gflops),
+                   fmt_exact(cells[i].seconds), cells[i].bound0});
+    }
+  }
+  return cells;
+}
+
+}  // namespace xbench

@@ -5,49 +5,84 @@
 // Weak scaling: problem grows with the machine (points per TCU constant).
 // Size scaling: each machine across problem sizes (where spawn overhead
 // and under-occupancy bite).
+//
+// With --csv <path> every completed cell is durably appended to the CSV as
+// it finishes and a restarted run skips the cells already on disk — the
+// rendered tables are byte-identical either way (see durable_sweep.hpp).
 #include <cstdio>
+#include <memory>
 #include <vector>
 
-#include "xpar/pool.hpp"
-#include "xsim/perf_model.hpp"
+#include "durable_sweep.hpp"
+#include "xutil/flags.hpp"
 #include "xutil/string_util.hpp"
 #include "xutil/table.hpp"
 #include "xutil/units.hpp"
 
-// Every (config, size) cell is an independent analytic evaluation, so each
-// sweep fans its analyze_fft calls onto the xpar pool and renders rows
-// serially in sweep order afterwards — tables stay byte-identical to a
-// serial run at any thread count.
-int main() {
+int main(int argc, char** argv) {
+  const xutil::Flags flags(argc - 1, argv + 1);
+  const std::string csv_path = flags.get("csv", "");
+  flags.reject_unused();
+  std::unique_ptr<xckpt::DurableCsv> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<xckpt::DurableCsv>(csv_path,
+                                              xbench::sweep_csv_header());
+    if (csv->recovered_rows() > 0) {
+      std::fprintf(stderr,
+                   "scaling: recovered %zu completed cell(s) from %s\n",
+                   csv->recovered_rows(), csv_path.c_str());
+    }
+  }
+
   const auto presets = xsim::paper_presets();
+
+  // Keep ~2048 points per TCU: 4k -> 2^23 points (256^2x128), scale up.
+  const xfft::Dims3 weak_dims[] = {
+      {256, 256, 128},    // 2^23 for 4k
+      {256, 256, 256},    // 2^24 for 8k
+      {512, 512, 512},    // 2^27 for 64k
+      {1024, 512, 512},   // 2^28 for 128k x2
+      {1024, 512, 512},   // 2^28 for 128k x4
+  };
+  const std::vector<std::size_t> sides = {16, 32, 64, 128, 256, 512};
+
+  // Every (config, size) cell is an independent analytic evaluation; all
+  // three studies fan out onto the xpar pool as one sweep and render
+  // serially in sweep order afterwards — tables stay byte-identical to a
+  // serial run at any thread count.
+  std::vector<xbench::SweepPoint> points;
+  for (const auto& cfg : presets) {
+    points.push_back({"strong:" + cfg.name, cfg, {512, 512, 512}});
+  }
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    points.push_back({"weak:" + presets[i].name, presets[i], weak_dims[i]});
+  }
+  for (const std::size_t side : sides) {
+    for (const auto& cfg : presets) {
+      points.push_back({"size:" + std::to_string(side) + ":" + cfg.name, cfg,
+                        {side, side, side}});
+    }
+  }
+  const auto cells = xbench::evaluate_sweep(points, csv.get());
+  std::size_t at = 0;
 
   // --- Strong scaling ---------------------------------------------------
   xutil::Table s("STRONG SCALING: 512^3 ACROSS CONFIGURATIONS");
   s.set_header({"Config", "TCUs", "time (ms)", "GFLOPS", "% of peak",
                 "speedup vs 4k", "parallel efficiency"});
-  std::vector<xsim::FftPerfReport> strong(presets.size());
-  xpar::parallel_for(0, static_cast<std::int64_t>(presets.size()), 1,
-                     [&](std::int64_t lo, std::int64_t hi) {
-                       for (std::int64_t i = lo; i < hi; ++i) {
-                         const auto k = static_cast<std::size_t>(i);
-                         strong[k] = xsim::FftPerfModel(presets[k])
-                                         .analyze_fft({512, 512, 512});
-                       }
-                     });
   double t_4k = 0.0;
-  for (std::size_t i = 0; i < presets.size(); ++i) {
+  for (std::size_t i = 0; i < presets.size(); ++i, ++at) {
     const auto& cfg = presets[i];
-    const auto& r = strong[i];
-    if (cfg.name == "4k") t_4k = r.total_seconds;
-    const double speedup = t_4k / r.total_seconds;
+    const auto& c = cells[at];
+    if (cfg.name == "4k") t_4k = c.seconds;
+    const double speedup = t_4k / c.seconds;
     const double resources = static_cast<double>(cfg.tcus) / 4096.0;
     s.add_row({cfg.name,
                xutil::format_group(static_cast<long long>(cfg.tcus)),
-               xutil::format_fixed(r.total_seconds * 1e3, 2),
-               xutil::format_gflops(r.standard_gflops),
-               xutil::format_fixed(100.0 * r.standard_gflops * 1e9 /
-                                       cfg.peak_flops_per_sec(),
-                                   0) +
+               xutil::format_fixed(c.seconds * 1e3, 2),
+               xutil::format_gflops(c.gflops),
+               xutil::format_fixed(
+                   100.0 * c.gflops * 1e9 / cfg.peak_flops_per_sec(), 0) +
                    "%",
                xutil::format_fixed(speedup, 1) + "x",
                xutil::format_fixed(speedup / resources, 2)});
@@ -57,33 +92,16 @@ int main() {
   std::fputs(s.render().c_str(), stdout);
 
   // --- Weak scaling -------------------------------------------------------
-  // Keep ~2048 points per TCU: 4k -> 2^23 points (256^2x128), scale up.
   xutil::Table w("WEAK SCALING: ~2048 POINTS PER TCU");
   w.set_header({"Config", "problem", "points/TCU", "time (ms)", "GFLOPS"});
-  const xfft::Dims3 weak_dims[] = {
-      {256, 256, 128},    // 2^23 for 4k
-      {256, 256, 256},    // 2^24 for 8k
-      {512, 512, 512},    // 2^27 for 64k
-      {1024, 512, 512},   // 2^28 for 128k x2
-      {1024, 512, 512},   // 2^28 for 128k x4
-  };
-  std::vector<xsim::FftPerfReport> weak(presets.size());
-  xpar::parallel_for(0, static_cast<std::int64_t>(presets.size()), 1,
-                     [&](std::int64_t lo, std::int64_t hi) {
-                       for (std::int64_t i = lo; i < hi; ++i) {
-                         const auto k = static_cast<std::size_t>(i);
-                         weak[k] = xsim::FftPerfModel(presets[k])
-                                       .analyze_fft(weak_dims[k]);
-                       }
-                     });
-  for (std::size_t i = 0; i < presets.size(); ++i) {
+  for (std::size_t i = 0; i < presets.size(); ++i, ++at) {
     const auto& cfg = presets[i];
     const auto dims = weak_dims[i];
-    const auto& r = weak[i];
+    const auto& c = cells[at];
     w.add_row({cfg.name, xutil::format_dims3(dims.nx, dims.ny, dims.nz),
                std::to_string(dims.total() / cfg.tcus),
-               xutil::format_fixed(r.total_seconds * 1e3, 2),
-               xutil::format_gflops(r.standard_gflops)});
+               xutil::format_fixed(c.seconds * 1e3, 2),
+               xutil::format_gflops(c.gflops)});
   }
   std::fputs(w.render().c_str(), stdout);
 
@@ -92,24 +110,10 @@ int main() {
   std::vector<std::string> header = {"size"};
   for (const auto& c : presets) header.push_back(c.name);
   z.set_header(header);
-  const std::vector<std::size_t> sides = {16, 32, 64, 128, 256, 512};
-  std::vector<xsim::FftPerfReport> cells(sides.size() * presets.size());
-  xpar::parallel_for(
-      0, static_cast<std::int64_t>(cells.size()), 1,
-      [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const auto k = static_cast<std::size_t>(i);
-          const std::size_t side = sides[k / presets.size()];
-          const auto& cfg = presets[k % presets.size()];
-          cells[k] = xsim::FftPerfModel(cfg).analyze_fft({side, side, side});
-        }
-      });
-  for (std::size_t si = 0; si < sides.size(); ++si) {
-    const std::size_t side = sides[si];
+  for (const std::size_t side : sides) {
     std::vector<std::string> row = {xutil::format_dims3(side, side, side)};
-    for (std::size_t ci = 0; ci < presets.size(); ++ci) {
-      row.push_back(xutil::format_gflops(
-          cells[si * presets.size() + ci].standard_gflops));
+    for (std::size_t ci = 0; ci < presets.size(); ++ci, ++at) {
+      row.push_back(xutil::format_gflops(cells[at].gflops));
     }
     z.add_row(row);
   }

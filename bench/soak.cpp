@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "xckpt/snapshot.hpp"
 #include "xfft/types.hpp"
 #include "xserve/serve.hpp"
 #include "xutil/flags.hpp"
@@ -33,6 +34,112 @@
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// ---- cross-restart stats ledger (--stats-file) --------------------------
+//
+// The soak's conservation story must survive the process dying: the sampler
+// periodically persists the cumulative counters (atomic tmp+rename, CRC'd),
+// and a restarted soak folds them in. A ledger written mid-run is marked
+// dirty; its accepted-but-unresolved jobs are moved into `crash_gap` on
+// load, so the cross-restart invariant becomes
+//   accepted == completed + crash_gap
+// and a ledger written at clean shutdown must have crash_gap growth zero.
+
+constexpr std::uint32_t kSoakSchema = 1;
+
+struct Ledger {
+  std::uint64_t runs = 0;
+  bool clean = true;  ///< last write happened after a full drain
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t fault_exhausted = 0;
+  std::uint64_t failed_invalid = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t per_rung[xserve::kRungCount] = {};
+  std::uint64_t crash_gap = 0;  ///< accepted jobs lost to earlier crashes
+
+  [[nodiscard]] std::uint64_t completed() const {
+    return ok + deadline_exceeded + cancelled + fault_exhausted +
+           failed_invalid;
+  }
+
+  /// Ledger totals with this process's live counters folded in.
+  [[nodiscard]] Ledger plus(const xserve::ServerStats& s, bool now_clean,
+                            std::uint64_t add_runs) const {
+    Ledger out = *this;
+    out.runs += add_runs;
+    out.clean = now_clean;
+    out.submitted += s.submitted;
+    out.accepted += s.accepted;
+    out.rejected_overload += s.rejected_overload;
+    out.rejected_invalid += s.rejected_invalid;
+    out.ok += s.ok;
+    out.deadline_exceeded += s.deadline_exceeded;
+    out.cancelled += s.cancelled;
+    out.fault_exhausted += s.fault_exhausted;
+    out.failed_invalid += s.failed_invalid;
+    out.retries += s.retries;
+    out.sheds += s.sheds;
+    for (unsigned r = 0; r < xserve::kRungCount; ++r) {
+      out.per_rung[r] += s.per_rung[r];
+    }
+    return out;
+  }
+};
+
+void persist_ledger(const std::string& path, const Ledger& l) {
+  xckpt::Writer w;
+  w.u32(kSoakSchema);
+  w.u64(l.runs);
+  w.u8(l.clean ? 1 : 0);
+  w.u64(l.submitted);
+  w.u64(l.accepted);
+  w.u64(l.rejected_overload);
+  w.u64(l.rejected_invalid);
+  w.u64(l.ok);
+  w.u64(l.deadline_exceeded);
+  w.u64(l.cancelled);
+  w.u64(l.fault_exhausted);
+  w.u64(l.failed_invalid);
+  w.u64(l.retries);
+  w.u64(l.sheds);
+  for (unsigned r = 0; r < xserve::kRungCount; ++r) w.u64(l.per_rung[r]);
+  w.u64(l.crash_gap);
+  xckpt::write_snapshot_file(path, xckpt::kTagSoakStats, w.data());
+}
+
+Ledger load_ledger(const std::string& path) {
+  const auto payload = xckpt::read_snapshot_file(path, xckpt::kTagSoakStats);
+  xckpt::Reader r(payload);
+  if (const std::uint32_t schema = r.u32(); schema != kSoakSchema) {
+    throw xckpt::SnapshotError(
+        xckpt::ErrorKind::kBadVersion,
+        "soak ledger schema v" + std::to_string(schema));
+  }
+  Ledger l;
+  l.runs = r.u64();
+  l.clean = r.u8() != 0;
+  l.submitted = r.u64();
+  l.accepted = r.u64();
+  l.rejected_overload = r.u64();
+  l.rejected_invalid = r.u64();
+  l.ok = r.u64();
+  l.deadline_exceeded = r.u64();
+  l.cancelled = r.u64();
+  l.fault_exhausted = r.u64();
+  l.failed_invalid = r.u64();
+  l.retries = r.u64();
+  l.sheds = r.u64();
+  for (unsigned q = 0; q < xserve::kRungCount; ++q) l.per_rung[q] = r.u64();
+  l.crash_gap = r.u64();
+  return l;
+}
 
 struct Tally {
   std::map<xserve::ServeStatus, std::uint64_t> by_status;
@@ -94,7 +201,45 @@ int main(int argc, char** argv) {
   sopt.queue_capacity =
       static_cast<std::size_t>(flags.get_int("capacity", 32));
   sopt.seed = seed;
+  const std::string stats_file = flags.get("stats-file", "");
   flags.reject_unused();
+
+  // Fold in the ledger from previous runs (if any). A dirty ledger means
+  // the previous soak died mid-run: its accepted-but-unresolved jobs move
+  // into crash_gap, keeping the cross-restart conservation identity
+  // accepted == completed + crash_gap. A *clean* ledger with a gap is a
+  // real conservation violation — some completed run lost outcomes.
+  Ledger ledger;
+  bool ledger_violation = false;
+  if (!stats_file.empty()) {
+    try {
+      ledger = load_ledger(stats_file);
+      const std::uint64_t unresolved =
+          ledger.accepted - ledger.completed() - ledger.crash_gap;
+      if (ledger.clean && unresolved != 0) {
+        std::fprintf(stderr,
+                     "soak: ledger marked clean but %llu accepted job(s)"
+                     " have no outcome\n",
+                     static_cast<unsigned long long>(unresolved));
+        ledger_violation = true;
+      }
+      if (unresolved != 0) {
+        std::fprintf(stderr,
+                     "soak: previous run died with %llu job(s) in flight"
+                     " (folded into crash gap)\n",
+                     static_cast<unsigned long long>(unresolved));
+        ledger.crash_gap += unresolved;
+      }
+    } catch (const xckpt::SnapshotError& e) {
+      // Missing file: a fresh ledger. Damaged file: warn but do not brick
+      // the soak — start a fresh ledger.
+      if (e.kind != xckpt::ErrorKind::kIo) {
+        std::fprintf(stderr, "soak: discarding damaged stats file: %s\n",
+                     e.what());
+      }
+      ledger = Ledger{};
+    }
+  }
 
   std::vector<xfft::Cf> base(dims.total());
   xutil::Pcg32 rng(seed, 0x50a7);
@@ -150,6 +295,13 @@ int main(int argc, char** argv) {
       if (cur.queue_depth > sopt.queue_capacity) {
         report_violation("queue depth " + std::to_string(cur.queue_depth) +
                          " exceeds capacity");
+      }
+      // Durable ledger heartbeat: a kill at any instant loses at most one
+      // sampling interval of counter growth, and the atomic write means a
+      // torn file is impossible (the previous generation survives).
+      if (!stats_file.empty()) {
+        persist_ledger(stats_file, ledger.plus(cur, /*now_clean=*/false,
+                                               /*add_runs=*/1));
       }
       prev = cur;
     }
@@ -249,6 +401,29 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(s.retries), s.peak_queue_depth,
       sopt.queue_capacity, s.p50_latency_seconds * 1e3,
       s.p99_latency_seconds * 1e3);
+  // Durable ledger epilogue: a clean-shutdown write (after the drain and
+  // the conservation checks above) so the next run inherits reconciled
+  // books; the cumulative line spans every run of this stats file.
+  if (!stats_file.empty()) {
+    const Ledger total =
+        ledger.plus(s, /*now_clean=*/true, /*add_runs=*/1);
+    persist_ledger(stats_file, total);
+    std::printf(
+        "soak: ledger after %llu run(s): %llu submitted, %llu accepted, "
+        "%llu ok, %llu completed, %llu lost to crashes\n",
+        static_cast<unsigned long long>(total.runs),
+        static_cast<unsigned long long>(total.submitted),
+        static_cast<unsigned long long>(total.accepted),
+        static_cast<unsigned long long>(total.ok),
+        static_cast<unsigned long long>(total.completed()),
+        static_cast<unsigned long long>(total.crash_gap));
+    if (total.accepted != total.completed() + total.crash_gap) {
+      report_violation("cross-restart ledger does not reconcile");
+    }
+  }
+  if (ledger_violation) {
+    report_violation("stats ledger was clean but lost outcomes");
+  }
   if (!violation.empty()) {
     std::fprintf(stderr, "soak: INVARIANT VIOLATED: %s\n", violation.c_str());
     return 1;

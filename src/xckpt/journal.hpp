@@ -1,0 +1,96 @@
+// Restartable work journals for sweep drivers.
+//
+// Long sweeps (design-space tables, scaling studies, fuzz campaigns) are
+// lists of independent work items. Durability for them is not a machine
+// snapshot but a ledger: record each finished item as it completes, and on
+// restart skip what the ledger already holds. Two primitives:
+//
+//  - WorkJournal: append-only key -> value lines, each protected by a
+//    per-line CRC32 so a torn tail line (crash mid-append) or a flipped bit
+//    is silently dropped instead of resurrecting a bogus entry. Appends are
+//    flushed and fsync'd before record() returns, and re-recording a key
+//    keeps the newest value.
+//  - DurableCsv: a CSV output file that is also its own journal. On open it
+//    loads existing rows (dropping an unterminated tail line), verifies the
+//    header, and then *appends* new rows instead of truncating — a crash
+//    mid-sweep keeps every completed row, and a restart reuses them via
+//    has()/row() instead of recomputing. A header mismatch (schema change,
+//    corrupt file) restarts the file from scratch rather than mixing
+//    schemas.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xckpt {
+
+class WorkJournal {
+ public:
+  /// Opens (creating if needed) and loads `path`. Corrupt or torn lines
+  /// are counted in dropped_lines() and otherwise ignored.
+  explicit WorkJournal(const std::string& path);
+  ~WorkJournal();
+
+  WorkJournal(const WorkJournal&) = delete;
+  WorkJournal& operator=(const WorkJournal&) = delete;
+
+  /// Thread-safe.
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Value for `key`, or "" when absent. Thread-safe.
+  [[nodiscard]] std::string value(const std::string& key) const;
+  /// Appends key -> value durably (flush + fsync before returning).
+  /// Neither key nor value may contain tabs or newlines. Thread-safe.
+  void record(const std::string& key, const std::string& value);
+
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t dropped_lines() const { return dropped_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> map_;
+  std::size_t dropped_ = 0;
+  std::FILE* out_ = nullptr;
+};
+
+class DurableCsv {
+ public:
+  /// Opens `path` for append. An existing file must start with exactly
+  /// `header` (otherwise it is considered a different schema and is
+  /// restarted empty); rows already present are indexed by their first
+  /// column. Fields must not contain commas, quotes, or newlines — rows
+  /// here are keys and numbers, and keeping the grammar trivial is what
+  /// makes the crash-recovery parse unambiguous.
+  DurableCsv(const std::string& path, const std::vector<std::string>& header);
+  ~DurableCsv();
+
+  DurableCsv(const DurableCsv&) = delete;
+  DurableCsv& operator=(const DurableCsv&) = delete;
+
+  /// True when a complete row keyed by `key` (column 0) was recovered.
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// The recovered row (including the key column); empty when absent.
+  [[nodiscard]] std::vector<std::string> row(const std::string& key) const;
+  /// Appends durably (flush + fsync). row[0] is the key.
+  void append(const std::vector<std::string>& row);
+
+  /// Rows recovered from a previous run (not ones appended now).
+  [[nodiscard]] std::size_t recovered_rows() const { return recovered_; }
+  [[nodiscard]] bool restarted() const { return restarted_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t columns_ = 0;
+  std::map<std::string, std::vector<std::string>> rows_;
+  std::size_t recovered_ = 0;
+  bool restarted_ = false;  ///< existing file had a different header
+  std::FILE* out_ = nullptr;
+};
+
+}  // namespace xckpt

@@ -1,0 +1,107 @@
+#include "xckpt/ring.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "xckpt/snapshot.hpp"
+#include "xutil/check.hpp"
+
+namespace xckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kPrefix = "ckpt-";
+constexpr const char* kSuffix = ".xckpt";
+}  // namespace
+
+CheckpointRing::CheckpointRing(std::string dir, std::uint32_t app_tag,
+                               unsigned keep)
+    : dir_(std::move(dir)), app_tag_(app_tag), keep_(keep) {
+  XU_CHECK_MSG(keep_ >= 1, "checkpoint ring must keep at least 1 generation");
+  XU_CHECK_MSG(!dir_.empty(), "checkpoint ring needs a directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw SnapshotError(ErrorKind::kIo, "create checkpoint dir '" + dir_ +
+                                            "': " + ec.message());
+  }
+}
+
+std::string CheckpointRing::path_of(std::uint64_t generation) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "%s%012llu%s", kPrefix,
+                static_cast<unsigned long long>(generation), kSuffix);
+  return (fs::path(dir_) / name).string();
+}
+
+std::vector<std::uint64_t> CheckpointRing::generations() const {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= std::string(kPrefix).size() + std::string(kSuffix).size())
+      continue;
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.size() < 6 || name.substr(name.size() - 6) != kSuffix) continue;
+    const std::string digits =
+        name.substr(std::string(kPrefix).size(),
+                    name.size() - std::string(kPrefix).size() - 6);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    gens.push_back(std::stoull(digits));
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::uint64_t CheckpointRing::latest_generation() const {
+  const auto gens = generations();
+  return gens.empty() ? 0 : gens.back();
+}
+
+std::uint64_t CheckpointRing::save(std::span<const std::uint8_t> payload) {
+  const std::uint64_t next = latest_generation() + 1;
+  write_snapshot_file(path_of(next), app_tag_, payload);
+  // Prune outside the keep window. Best effort: a surviving stale file is
+  // only wasted disk, never a correctness problem (loads prefer newest).
+  const auto gens = generations();
+  for (const std::uint64_t g : gens) {
+    if (g + keep_ <= next) {
+      std::error_code ec;
+      fs::remove(path_of(g), ec);
+    }
+  }
+  return next;
+}
+
+std::optional<CheckpointRing::Loaded> CheckpointRing::load_latest() {
+  skipped_all_.clear();
+  auto gens = generations();
+  std::vector<std::string> skipped;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const std::string path = path_of(*it);
+    try {
+      Loaded out;
+      out.payload = read_snapshot_file(path, app_tag_);
+      out.generation = *it;
+      out.skipped = std::move(skipped);
+      return out;
+    } catch (const SnapshotError& e) {
+      skipped.push_back(path + ": " + e.what());
+    }
+  }
+  skipped_all_ = std::move(skipped);
+  return std::nullopt;
+}
+
+void CheckpointRing::clear() {
+  for (const std::uint64_t g : generations()) {
+    std::error_code ec;
+    fs::remove(path_of(g), ec);
+  }
+}
+
+}  // namespace xckpt

@@ -1,0 +1,69 @@
+// N-generation checkpoint ring with corruption fallback.
+//
+// A single checkpoint file is a single point of failure: a bit flip (or a
+// kill landing inside the window between payload damage and detection)
+// would leave nothing to resume from. The ring keeps the last N good
+// generations as separate files (ckpt-<generation>.xckpt); load_latest()
+// walks newest-to-oldest, validating each, and returns the first generation
+// whose magic/version/CRC checks all pass — corrupt generations are
+// reported, not fatal. save() writes generation latest+1 atomically and
+// then prunes generations older than the keep window, so a crash at any
+// instant leaves at least the previous good generation intact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xckpt {
+
+class CheckpointRing {
+ public:
+  /// `dir` is created if missing. `keep` >= 1 generations are retained.
+  CheckpointRing(std::string dir, std::uint32_t app_tag, unsigned keep = 3);
+
+  /// Writes the next generation atomically, prunes the tail, and returns
+  /// the new generation number (generations start at 1).
+  std::uint64_t save(std::span<const std::uint8_t> payload);
+
+  struct Loaded {
+    std::vector<std::uint8_t> payload;
+    std::uint64_t generation = 0;
+    /// Newer generations skipped because they failed validation, newest
+    /// first ("<file>: <error>"). Non-empty means the fallback engaged.
+    std::vector<std::string> skipped;
+  };
+
+  /// Newest generation that validates, or nullopt when the directory has
+  /// no loadable snapshot (empty, missing, or all generations corrupt —
+  /// `skipped_all` then lists every rejected file).
+  [[nodiscard]] std::optional<Loaded> load_latest();
+
+  /// Rejected files from the last load_latest() that returned nullopt.
+  [[nodiscard]] const std::vector<std::string>& skipped_all() const {
+    return skipped_all_;
+  }
+
+  /// Highest generation number present on disk (0 when none), valid or not.
+  [[nodiscard]] std::uint64_t latest_generation() const;
+
+  /// Removes every generation file (used by tests and by fresh runs asked
+  /// to discard old state).
+  void clear();
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::string path_of(std::uint64_t generation) const;
+  /// Generation numbers present on disk, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> generations() const;
+
+  std::string dir_;
+  std::uint32_t app_tag_;
+  unsigned keep_;
+  std::vector<std::string> skipped_all_;
+};
+
+}  // namespace xckpt

@@ -1,0 +1,49 @@
+// Retry backoff policy, extracted as free functions so it is unit-testable
+// without standing up a server (the dispatcher thread, queue, and clock make
+// the in-situ policy awkward to pin down in a test).
+//
+// The policy is "decorrelated jitter": each sleep is drawn uniformly from
+// [base, max(base, 3 * previous_sleep)] and clipped to a cap. Compared with
+// plain exponential backoff it decorrelates competing retriers (no thundering
+// herd at 2^k * base) while still growing the expected sleep geometrically.
+// A second helper clips the drawn sleep to the job's remaining deadline
+// budget: sleeping past the deadline would convert a retryable transient
+// fault into a guaranteed kDeadlineExceeded without even attempting again.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "xutil/rng.hpp"
+
+namespace xserve {
+
+/// One decorrelated-jitter step: uniform in [base, max(base, prev * 3)],
+/// clipped to `cap`. A non-positive `base` disables backoff (returns zero).
+/// Deterministic given the rng state — the server feeds it a dedicated
+/// seeded stream, so retry schedules are reproducible run to run.
+[[nodiscard]] inline std::chrono::nanoseconds next_decorrelated_backoff(
+    std::chrono::nanoseconds prev, std::chrono::nanoseconds base,
+    std::chrono::nanoseconds cap, xutil::Pcg32& rng) {
+  const std::int64_t b = base.count();
+  if (b <= 0) return std::chrono::nanoseconds{0};
+  const std::int64_t hi = std::max(b, prev.count() * 3);
+  std::int64_t sleep = b;
+  if (hi > b) {
+    sleep += static_cast<std::int64_t>(rng.next_double() *
+                                       static_cast<double>(hi - b));
+  }
+  return std::chrono::nanoseconds{std::min(sleep, cap.count())};
+}
+
+/// Clips a planned backoff sleep to the deadline budget still available.
+/// An already-expired budget (negative `remaining`) clamps to zero: the
+/// retry loop proceeds immediately and lets the next attempt observe the
+/// expiry, rather than sleeping on a lost cause.
+[[nodiscard]] inline std::chrono::nanoseconds clip_backoff_to_deadline(
+    std::chrono::nanoseconds sleep, std::chrono::nanoseconds remaining) {
+  return std::min(sleep, std::max(remaining, std::chrono::nanoseconds{0}));
+}
+
+}  // namespace xserve

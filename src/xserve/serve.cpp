@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "xfault/resilient_fft.hpp"
+#include "xserve/backoff.hpp"
 #include "xfft/fixed_point.hpp"
 #include "xfft/fftnd.hpp"
 #include "xfft/plan1d.hpp"
@@ -351,10 +352,11 @@ JobOutcome FftServer::run_job(Job& job, Rung rung) {
       break;
     }
     if (!pristine.empty()) job.req.data = pristine;
-    backoff = next_backoff(backoff);
+    backoff = next_decorrelated_backoff(backoff, opt_.backoff_base,
+                                        opt_.backoff_cap, backoff_rng_);
     std::chrono::nanoseconds sleep = backoff;
     if (job.token->has_deadline()) {
-      sleep = std::min(
+      sleep = clip_backoff_to_deadline(
           sleep, std::chrono::duration_cast<std::chrono::nanoseconds>(
                      job.token->remaining()));
     }
@@ -473,20 +475,6 @@ void FftServer::record_outcome(const JobOutcome& out) {
   if (latencies_.size() < kMaxLatencySamples) {
     latencies_.push_back(out.latency_seconds);
   }
-}
-
-std::chrono::nanoseconds FftServer::next_backoff(
-    std::chrono::nanoseconds prev) {
-  const std::int64_t base = opt_.backoff_base.count();
-  if (base <= 0) return std::chrono::nanoseconds{0};
-  const std::int64_t cap = opt_.backoff_cap.count();
-  const std::int64_t hi = std::max(base, prev.count() * 3);
-  std::int64_t sleep = base;
-  if (hi > base) {
-    sleep += static_cast<std::int64_t>(backoff_rng_.next_double() *
-                                       static_cast<double>(hi - base));
-  }
-  return std::chrono::nanoseconds{std::min(sleep, cap)};
 }
 
 }  // namespace xserve

@@ -225,7 +225,6 @@ class FftServer {
   /// One execution attempt on `rung`; returns the would-be outcome.
   JobOutcome execute_once(Job& job, Rung rung, unsigned attempt);
   void record_outcome(const JobOutcome& out);
-  std::chrono::nanoseconds next_backoff(std::chrono::nanoseconds prev);
 
   ServerOptions opt_;
 

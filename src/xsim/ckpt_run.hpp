@@ -1,0 +1,58 @@
+// Checkpointed full-FFT runs on the cycle-level machine.
+//
+// run_fft_checkpointed() is run_fft_on_machine() made crash-proof: the run
+// advances in bounded cycle slices and, at every slice boundary, snapshots
+// the complete run state (phase journal + machine state) into an
+// xckpt::CheckpointRing. A process killed at any instant resumes from the
+// newest good generation and produces the bit-identical DetailedFftResult
+// the uninterrupted run would have produced — slicing happens at cycle
+// boundaries, so the simulation itself never changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "xsim/fft_on_machine.hpp"
+
+namespace xckpt {
+class CheckpointRing;
+}  // namespace xckpt
+
+namespace xsim {
+
+struct CheckpointedRunOptions {
+  /// Cycles simulated between snapshots. 0 disables periodic snapshots
+  /// (the run still honors `interrupted` at phase boundaries).
+  std::uint64_t every = 0;
+  /// Attempt to resume from the ring before starting fresh. A snapshot for
+  /// a different run (other dims/radix/traffic/config) throws
+  /// xckpt::SnapshotError(kMismatch) rather than silently restarting.
+  bool resume = false;
+  /// Polled between slices (e.g. a SIGINT flag). When it returns true the
+  /// run writes a final snapshot and returns with `interrupted` set —
+  /// the caller exits and a later --resume continues from that point.
+  std::function<bool()> interrupted;
+};
+
+struct CheckpointedRunStatus {
+  DetailedFftResult result;  ///< meaningful only when !interrupted
+  bool interrupted = false;  ///< stopped at a slice boundary after a snapshot
+  bool resumed = false;             ///< state came from the ring
+  std::uint64_t resumed_generation = 0;
+  std::uint64_t resumed_cycles = 0;  ///< total cycles already simulated then
+  std::uint64_t fallbacks = 0;  ///< damaged newer generations skipped on load
+  std::uint64_t snapshots = 0;  ///< snapshots written by this invocation
+};
+
+/// Runs (or resumes) the radix-`max_radix` FFT over `dims` on `machine`,
+/// snapshotting into `ring`. The final result of any resume chain is
+/// bit-identical to an uninterrupted run_fft_on_machine() call.
+CheckpointedRunStatus run_fft_checkpointed(Machine& machine,
+                                           xckpt::CheckpointRing& ring,
+                                           xfft::Dims3 dims,
+                                           unsigned max_radix,
+                                           FftTrafficOptions traffic,
+                                           const CheckpointedRunOptions& opt);
+
+}  // namespace xsim

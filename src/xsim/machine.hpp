@@ -18,11 +18,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "xfault/fault_plan.hpp"
 #include "xsim/config.hpp"
 #include "xutil/check.hpp"
+
+namespace xckpt {
+class Writer;
+class Reader;
+}  // namespace xckpt
 
 namespace xsim {
 
@@ -110,12 +116,59 @@ struct MachineResult {
 class Machine {
  public:
   explicit Machine(MachineConfig config, MachineOptions opt = {});
+  ~Machine();
+  Machine(Machine&&) noexcept;
+  Machine& operator=(Machine&&) noexcept;
 
   /// Executes `num_threads` virtual threads of `gen` to completion and
-  /// returns the observables. Deterministic.
+  /// returns the observables. Deterministic. Equivalent to begin_section +
+  /// advance_section(unbounded) + end_section.
   MachineResult run_parallel_section(std::uint64_t num_threads,
                                      const ProgramGenerator& gen,
                                      bool keep_cache = false);
+
+  // --- Resumable section API (the checkpointing surface) -----------------
+  //
+  // A parallel section can be advanced in bounded slices so long runs can
+  // snapshot between slices: begin_section(); while (!advance_section(N))
+  // { save a checkpoint; } result = end_section(). A slice boundary is an
+  // ordinary cycle boundary — slicing never changes the simulation, so the
+  // final MachineResult is bit-identical to a run_parallel_section() call.
+
+  /// Starts a section. Any previously active section is discarded.
+  void begin_section(std::uint64_t num_threads, const ProgramGenerator& gen,
+                     bool keep_cache = false);
+
+  /// Advances at most `max_cycles` further cycles. Returns true when the
+  /// section has finished (all threads joined and every request drained,
+  /// or the cycle-limit watchdog truncated it; with throw_on_cycle_limit
+  /// the watchdog throws DeadlockError instead).
+  bool advance_section(std::uint64_t max_cycles);
+
+  /// Finalizes the section (utilization math) and returns the observables.
+  MachineResult end_section();
+
+  [[nodiscard]] bool section_active() const { return sec_ != nullptr; }
+  /// Cycles simulated so far in the active section.
+  [[nodiscard]] std::uint64_t section_cycle() const;
+
+  // --- Checkpointing ------------------------------------------------------
+  //
+  // save() serializes the complete simulation state: the configuration and
+  // latency fingerprints (verified on restore — a snapshot never silently
+  // resumes on a different machine), the fault map, every cache module's
+  // tags, and, when a section is active, all of its discrete-event state
+  // (cycle counter, per-TCU thread programs and pipeline positions, NoC
+  // stage queues, MoT delay pipes, memory-module queues, DRAM channel
+  // state, in-flight load completions, and the partial counters).
+  //
+  // restore() deserializes into a scratch machine and swaps only on full
+  // success, so a damaged snapshot can never half-apply: on any
+  // xckpt::SnapshotError the machine is untouched. The thread-program
+  // generator cannot live in a snapshot (it is code, not data); the caller
+  // passes the same deterministic generator it would give begin_section.
+  void save(xckpt::Writer& w) const;
+  void restore(xckpt::Reader& r, const ProgramGenerator& gen);
 
   [[nodiscard]] const MachineConfig& config() const { return config_; }
 
@@ -132,16 +185,25 @@ class Machine {
   [[nodiscard]] std::uint32_t module_of(std::uint64_t addr) const;
 
  private:
+  struct Section;  ///< discrete-event state of one in-flight section
+
   MachineConfig config_;
   MachineOptions opt_;
   xfault::FaultMap faults_;  ///< default: the perfect machine
   // Per-module direct-mapped line-tag cache, persisted across sections when
   // keep_cache is requested.
   std::vector<std::vector<std::uint64_t>> cache_tags_;
+  std::unique_ptr<Section> sec_;  ///< null when no section is active
   void reset_caches();
+  void load_state(xckpt::Reader& r, const ProgramGenerator& gen);
 };
 
 /// The plain-integer shape of `config` for xfault::materialize().
 [[nodiscard]] xfault::MachineShape fault_shape(const MachineConfig& config);
+
+/// Serialization of MachineResult (used by Machine snapshots and by the
+/// phase journal of checkpointed full-FFT runs). Bit-exact round trip.
+void save_result(xckpt::Writer& w, const MachineResult& r);
+[[nodiscard]] MachineResult load_result(xckpt::Reader& r);
 
 }  // namespace xsim

@@ -1,0 +1,114 @@
+#!/bin/sh
+# Crash/resume chaos harness for the CLI checkpoint path.
+#
+#   test_crash_resume.sh <xmtfft_cli> [<chaos-binary>]
+#
+# Part 1: SIGKILLs a checkpointed `machine` run at 10 distinct progress
+# points (the k-th round kills once the k-th snapshot generation exists),
+# resumes each with --resume, and requires the resumed stdout to be
+# BYTE-identical to an uninterrupted reference run (checkpoint chatter goes
+# to stderr precisely so this comparison is exact).
+#
+# Part 2: kills a run, zeroes bytes inside the newest snapshot generation,
+# and requires the resume to (a) report the corruption fallback on stderr
+# and (b) still finish byte-identical to the reference.
+#
+# When a chaos binary is given, runs it too (fork/SIGKILL at random instants
+# plus random single-byte corruption, bit-identical serialized results).
+CLI=$1
+CHAOS=${2:-}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT INT TERM
+cd "$work" || exit 1
+
+ARGS="machine --clusters 16 --size 256x256"
+EVERY=20000
+fails=0
+
+echo "chaos: computing uninterrupted reference" >&2
+"$CLI" $ARGS > ref.txt 2>/dev/null || { echo "FAIL: reference run"; exit 1; }
+
+kill_at_generation() {
+  # $1 = checkpoint dir, $2 = generation to wait for before SIGKILL
+  gfile=$1/$(printf 'ckpt-%012d.xckpt' "$2")
+  (
+    "$CLI" $ARGS --checkpoint-dir "$1" --checkpoint-every $EVERY \
+        > /dev/null 2>&1 &
+    pid=$!
+    n=0
+    while [ ! -e "$gfile" ] && kill -0 "$pid" 2>/dev/null; do
+      n=$((n+1))
+      [ "$n" -gt 4000 ] && break
+      sleep 0.005
+    done
+    kill -9 "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+  )
+}
+
+# ---- part 1: ten kill points, each resume chain must be bit-identical ----
+k=1
+while [ "$k" -le 10 ]; do
+  dir=ck$k
+  rm -rf "$dir"
+  kill_at_generation "$dir" "$k"
+  "$CLI" $ARGS --checkpoint-dir "$dir" --checkpoint-every $EVERY --resume \
+      > out$k.txt 2> err$k.txt
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "FAIL: kill point $k: resume exited $rc" >&2
+    fails=$((fails+1))
+  elif ! cmp -s ref.txt out$k.txt; then
+    echo "FAIL: kill point $k: resumed stdout differs from reference" >&2
+    fails=$((fails+1))
+  elif ! grep -q "resumed from generation" err$k.txt; then
+    echo "FAIL: kill point $k: resume did not use a checkpoint" >&2
+    fails=$((fails+1))
+  else
+    echo "ok: kill point $k ($(grep -o 'generation [0-9]*' err$k.txt | head -1))" >&2
+  fi
+  k=$((k+1))
+done
+
+# ---- part 2: corrupted newest generation must fall back, not diverge ----
+dir=ckC
+rm -rf "$dir"
+kill_at_generation "$dir" 4
+newest=$(ls "$dir"/ckpt-*.xckpt 2>/dev/null | sort | tail -1)
+if [ -z "$newest" ]; then
+  echo "FAIL: corruption round produced no checkpoint to damage" >&2
+  fails=$((fails+1))
+else
+  dd if=/dev/zero of="$newest" bs=1 seek=40 count=4 conv=notrunc 2>/dev/null
+  "$CLI" $ARGS --checkpoint-dir "$dir" --checkpoint-every $EVERY --resume \
+      > outC.txt 2> errC.txt
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "FAIL: corruption round: resume exited $rc" >&2
+    fails=$((fails+1))
+  elif ! grep -q "fell back to generation" errC.txt; then
+    echo "FAIL: corruption round: fallback did not engage" >&2
+    fails=$((fails+1))
+  elif ! cmp -s ref.txt outC.txt; then
+    echo "FAIL: corruption round: stdout differs from reference" >&2
+    fails=$((fails+1))
+  else
+    echo "ok: corruption round ($(grep -o 'fell back to generation [0-9]*' errC.txt))" >&2
+  fi
+fi
+
+# ---- part 3 (optional): in-process fork/SIGKILL chaos binary ----
+if [ -n "$CHAOS" ]; then
+  if ! "$CHAOS" --rounds 6 --dir chaos.ckpt >&2; then
+    echo "FAIL: chaos binary" >&2
+    fails=$((fails+1))
+  fi
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "chaos: $fails FAILURE(S)"
+  exit 1
+fi
+echo "chaos: PASS (10 kill points + corruption fallback, all bit-identical)"
+exit 0

@@ -1,0 +1,263 @@
+// Unit tests for the xckpt storage layer: payload Writer/Reader bounds and
+// bit-exactness, snapshot-file validation (magic/version/tag/CRC/length),
+// the generation ring's corruption fallback, and the restartable journals.
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xckpt/journal.hpp"
+#include "xckpt/ring.hpp"
+#include "xckpt/snapshot.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on teardown.
+class CkptDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("xckpt-test-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return dir_ + "/" + name;
+  }
+
+  std::string dir_;
+};
+
+void corrupt_at(const std::string& path, std::int64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(offset);
+  char b = 0;
+  f.get(b);
+  f.seekp(offset);
+  f.put(static_cast<char>(b ^ 0xff));
+}
+
+TEST(SnapshotPayload, RoundTripsEveryTypeBitExactly) {
+  xckpt::Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(~std::uint64_t{0});
+  w.f64(0.1);  // not exactly representable: bit-pattern storage must hold
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.str("phase r8 i0");
+  w.vec_u8({1, 2, 3});
+  w.vec_u32({});
+  w.vec_u64({~std::uint64_t{0}, 7});
+
+  xckpt::Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), ~std::uint64_t{0});
+  EXPECT_EQ(r.f64(), 0.1);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.str(), "phase r8 i0");
+  EXPECT_EQ(r.vec_u8(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.vec_u32().empty());
+  EXPECT_EQ(r.vec_u64(), (std::vector<std::uint64_t>{~std::uint64_t{0}, 7}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SnapshotPayload, ReadPastEndThrowsTruncated) {
+  xckpt::Writer w;
+  w.u32(42);
+  xckpt::Reader r(w.data());
+  (void)r.u32();
+  try {
+    (void)r.u64();
+    FAIL() << "read past end did not throw";
+  } catch (const xckpt::SnapshotError& e) {
+    EXPECT_EQ(e.kind, xckpt::ErrorKind::kTruncated);
+  }
+}
+
+TEST(SnapshotPayload, TruncatedVectorLengthThrowsNotAllocates) {
+  // A corrupt length prefix claiming 2^60 elements must fail the bounds
+  // check, not attempt the allocation.
+  xckpt::Writer w;
+  w.u64(std::uint64_t{1} << 60);
+  xckpt::Reader r(w.data());
+  EXPECT_THROW((void)r.vec_u64(), xckpt::SnapshotError);
+}
+
+TEST_F(CkptDir, FileRoundTripAndTagCheck) {
+  xckpt::Writer w;
+  w.str("hello");
+  xckpt::write_snapshot_file(path("a.xckpt"), xckpt::kTagTest, w.data());
+  const auto payload =
+      xckpt::read_snapshot_file(path("a.xckpt"), xckpt::kTagTest);
+  xckpt::Reader r(payload);
+  EXPECT_EQ(r.str(), "hello");
+
+  try {
+    (void)xckpt::read_snapshot_file(path("a.xckpt"), xckpt::kTagSoakStats);
+    FAIL() << "wrong app tag accepted";
+  } catch (const xckpt::SnapshotError& e) {
+    EXPECT_EQ(e.kind, xckpt::ErrorKind::kMismatch);
+  }
+}
+
+TEST_F(CkptDir, DamageIsTypedNotGarbage) {
+  xckpt::Writer w;
+  for (int i = 0; i < 64; ++i) w.u64(static_cast<std::uint64_t>(i));
+  xckpt::write_snapshot_file(path("a.xckpt"), xckpt::kTagTest, w.data());
+  const auto size = fs::file_size(path("a.xckpt"));
+
+  // Bad magic.
+  fs::copy_file(path("a.xckpt"), path("magic.xckpt"));
+  corrupt_at(path("magic.xckpt"), 0);
+  try {
+    (void)xckpt::read_snapshot_file(path("magic.xckpt"), xckpt::kTagTest);
+    FAIL();
+  } catch (const xckpt::SnapshotError& e) {
+    EXPECT_EQ(e.kind, xckpt::ErrorKind::kBadMagic);
+  }
+
+  // Flipped payload bit.
+  fs::copy_file(path("a.xckpt"), path("crc.xckpt"));
+  corrupt_at(path("crc.xckpt"), static_cast<std::int64_t>(size) - 9);
+  try {
+    (void)xckpt::read_snapshot_file(path("crc.xckpt"), xckpt::kTagTest);
+    FAIL();
+  } catch (const xckpt::SnapshotError& e) {
+    EXPECT_EQ(e.kind, xckpt::ErrorKind::kBadCrc);
+  }
+
+  // Torn tail (truncated mid-payload).
+  fs::copy_file(path("a.xckpt"), path("torn.xckpt"));
+  fs::resize_file(path("torn.xckpt"), size / 2);
+  try {
+    (void)xckpt::read_snapshot_file(path("torn.xckpt"), xckpt::kTagTest);
+    FAIL();
+  } catch (const xckpt::SnapshotError& e) {
+    EXPECT_EQ(e.kind, xckpt::ErrorKind::kTruncated);
+  }
+
+  // The original file is still pristine.
+  EXPECT_NO_THROW(
+      (void)xckpt::read_snapshot_file(path("a.xckpt"), xckpt::kTagTest));
+}
+
+std::vector<std::uint8_t> payload_of(std::uint64_t n) {
+  xckpt::Writer w;
+  w.u64(n);
+  return {w.data().begin(), w.data().end()};
+}
+
+TEST_F(CkptDir, RingKeepsWindowAndLoadsNewest) {
+  xckpt::CheckpointRing ring(dir_, xckpt::kTagTest, /*keep=*/3);
+  for (std::uint64_t g = 1; g <= 5; ++g) {
+    EXPECT_EQ(ring.save(payload_of(g)), g);
+  }
+  EXPECT_EQ(ring.latest_generation(), 5u);
+  // Only the keep-window survives on disk.
+  unsigned files = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 3u);
+
+  auto loaded = ring.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->generation, 5u);
+  EXPECT_TRUE(loaded->skipped.empty());
+  xckpt::Reader r(loaded->payload);
+  EXPECT_EQ(r.u64(), 5u);
+}
+
+TEST_F(CkptDir, RingFallsBackPastCorruptGenerations) {
+  xckpt::CheckpointRing ring(dir_, xckpt::kTagTest, /*keep=*/3);
+  for (std::uint64_t g = 1; g <= 4; ++g) ring.save(payload_of(g));
+  corrupt_at(dir_ + "/ckpt-000000000004.xckpt", 30);
+
+  auto loaded = ring.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->generation, 3u);
+  EXPECT_EQ(loaded->skipped.size(), 1u);
+  xckpt::Reader r(loaded->payload);
+  EXPECT_EQ(r.u64(), 3u);
+
+  // All generations damaged -> nullopt, every rejection reported.
+  corrupt_at(dir_ + "/ckpt-000000000003.xckpt", 30);
+  corrupt_at(dir_ + "/ckpt-000000000002.xckpt", 30);
+  EXPECT_FALSE(ring.load_latest().has_value());
+  EXPECT_EQ(ring.skipped_all().size(), 3u);
+
+  // The ring still accepts new generations after total loss.
+  EXPECT_EQ(ring.save(payload_of(9)), 5u);
+  auto again = ring.load_latest();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->generation, 5u);
+}
+
+TEST_F(CkptDir, WorkJournalSurvivesTornTail) {
+  const std::string jp = path("work.journal");
+  {
+    xckpt::WorkJournal j(jp);
+    j.record("item-0", "pass 3");
+    j.record("item-1", "fail");
+    j.record("item-0", "pass 4");  // re-record keeps newest
+  }
+  // Simulate a crash mid-append: garbage half-line at the tail.
+  {
+    std::ofstream f(jp, std::ios::app | std::ios::binary);
+    f << "item-2\tpass 7\t";  // no CRC, no newline
+  }
+  xckpt::WorkJournal j(jp);
+  EXPECT_TRUE(j.has("item-0"));
+  EXPECT_EQ(j.value("item-0"), "pass 4");
+  EXPECT_EQ(j.value("item-1"), "fail");
+  EXPECT_FALSE(j.has("item-2"));
+  EXPECT_EQ(j.entries(), 2u);
+  EXPECT_GE(j.dropped_lines(), 1u);
+}
+
+TEST_F(CkptDir, DurableCsvAppendsAndRecovers) {
+  const std::string cp = path("sweep.csv");
+  const std::vector<std::string> header{"key", "gflops"};
+  {
+    xckpt::DurableCsv csv(cp, header);
+    EXPECT_FALSE(csv.restarted());
+    csv.append({"fpus:1", "11839.25"});
+    csv.append({"fpus:2", "15733.65"});
+  }
+  {
+    xckpt::DurableCsv csv(cp, header);
+    EXPECT_EQ(csv.recovered_rows(), 2u);
+    EXPECT_TRUE(csv.has("fpus:1"));
+    EXPECT_EQ(csv.row("fpus:2"),
+              (std::vector<std::string>{"fpus:2", "15733.65"}));
+    csv.append({"fpus:4", "20000.00"});
+  }
+  // A schema change restarts the file instead of mixing headers.
+  {
+    xckpt::DurableCsv csv(cp, {"key", "gflops", "seconds"});
+    EXPECT_TRUE(csv.restarted());
+    EXPECT_EQ(csv.recovered_rows(), 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Deterministic unit tests for the xserve retry-backoff policy
+// (src/xserve/backoff.hpp). All randomness comes from a fixed-seed Pcg32
+// stream, so every bound checked here is exact, not statistical.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xserve/backoff.hpp"
+#include "xutil/rng.hpp"
+
+namespace {
+
+using std::chrono::nanoseconds;
+
+constexpr nanoseconds kBase{250'000};    // server default: 0.25 ms
+constexpr nanoseconds kCap{8'000'000};   // server default: 8 ms
+
+std::vector<nanoseconds> schedule(std::uint64_t seed, unsigned steps,
+                                  nanoseconds base = kBase,
+                                  nanoseconds cap = kCap) {
+  xutil::Pcg32 rng(seed, 0x5e7e);
+  std::vector<nanoseconds> out;
+  nanoseconds prev = base;
+  for (unsigned i = 0; i < steps; ++i) {
+    prev = xserve::next_decorrelated_backoff(prev, base, cap, rng);
+    out.push_back(prev);
+  }
+  return out;
+}
+
+TEST(Backoff, EverySleepWithinBaseAndCap) {
+  for (std::uint64_t seed : {1u, 2u, 42u, 12345u}) {
+    for (const nanoseconds d : schedule(seed, 200)) {
+      EXPECT_GE(d, kBase);
+      EXPECT_LE(d, kCap);
+    }
+  }
+}
+
+TEST(Backoff, EachStepBoundedByTripleOfPrevious) {
+  xutil::Pcg32 rng(7, 0x5e7e);
+  nanoseconds prev = kBase;
+  for (unsigned i = 0; i < 200; ++i) {
+    const nanoseconds next =
+        xserve::next_decorrelated_backoff(prev, kBase, kCap, rng);
+    EXPECT_LE(next, std::min(kCap, nanoseconds{prev.count() * 3}));
+    EXPECT_GE(next, kBase);
+    prev = next;
+  }
+}
+
+TEST(Backoff, FixedSeedGivesFixedSchedule) {
+  const auto a = schedule(11, 64);
+  const auto b = schedule(11, 64);
+  EXPECT_EQ(a, b);
+  // Distinct seeds must not produce the same jitter (the whole point of
+  // decorrelation is that concurrent retriers spread out).
+  EXPECT_NE(a, schedule(12, 64));
+}
+
+TEST(Backoff, SleepsActuallyJitter) {
+  // With hi > base the draw is uniform over a 500 us window; 64 identical
+  // consecutive draws would mean the rng is not being consumed.
+  const auto s = schedule(3, 64);
+  EXPECT_GT(std::count_if(s.begin(), s.end(),
+                          [&](nanoseconds d) { return d != s.front(); }),
+            0);
+}
+
+TEST(Backoff, GrowsTowardCapOnRepeatedFailures) {
+  // Expected sleep grows geometrically, so a long all-transient streak must
+  // reach the cap's neighborhood; with the cap clip it can never pass it.
+  const auto s = schedule(5, 200);
+  const auto peak = *std::max_element(s.begin(), s.end());
+  EXPECT_GT(peak, nanoseconds{kCap.count() / 2});
+  EXPECT_LE(peak, kCap);
+}
+
+TEST(Backoff, NonPositiveBaseDisablesBackoff) {
+  xutil::Pcg32 rng(1, 0x5e7e);
+  EXPECT_EQ(xserve::next_decorrelated_backoff(nanoseconds{1'000'000},
+                                              nanoseconds{0}, kCap, rng),
+            nanoseconds{0});
+  EXPECT_EQ(xserve::next_decorrelated_backoff(nanoseconds{1'000'000},
+                                              nanoseconds{-5}, kCap, rng),
+            nanoseconds{0});
+}
+
+TEST(Backoff, CapBelowBaseClipsToCap) {
+  xutil::Pcg32 rng(1, 0x5e7e);
+  const nanoseconds tiny_cap{100};
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_EQ(xserve::next_decorrelated_backoff(kBase, kBase, tiny_cap, rng),
+              tiny_cap);
+  }
+}
+
+TEST(BackoffDeadlineClip, SleepWithinBudgetPassesThrough) {
+  EXPECT_EQ(xserve::clip_backoff_to_deadline(nanoseconds{500},
+                                             nanoseconds{1'000}),
+            nanoseconds{500});
+}
+
+TEST(BackoffDeadlineClip, SleepBeyondBudgetClipsToRemaining) {
+  EXPECT_EQ(xserve::clip_backoff_to_deadline(nanoseconds{5'000},
+                                             nanoseconds{1'200}),
+            nanoseconds{1'200});
+}
+
+TEST(BackoffDeadlineClip, ExpiredBudgetClampsToZero) {
+  // Never sleep a negative duration, and never sleep at all once the
+  // deadline has passed — the next attempt reports the expiry instead.
+  EXPECT_EQ(xserve::clip_backoff_to_deadline(nanoseconds{5'000},
+                                             nanoseconds{-3}),
+            nanoseconds{0});
+  EXPECT_EQ(xserve::clip_backoff_to_deadline(nanoseconds{5'000},
+                                             nanoseconds{0}),
+            nanoseconds{0});
+}
+
+TEST(BackoffDeadlineClip, WholeScheduleStaysInsideDeadline) {
+  // Simulate the dispatcher's loop: every clipped sleep must fit in the
+  // remaining budget, and the cumulative slept time can never exceed it.
+  xutil::Pcg32 rng(9, 0x5e7e);
+  nanoseconds remaining{2'000'000};  // 2 ms budget, cap is 8 ms
+  nanoseconds prev = kBase;
+  nanoseconds slept{0};
+  for (unsigned i = 0; i < 64 && remaining.count() > 0; ++i) {
+    prev = xserve::next_decorrelated_backoff(prev, kBase, kCap, rng);
+    const nanoseconds s = xserve::clip_backoff_to_deadline(prev, remaining);
+    ASSERT_LE(s, remaining);
+    slept += s;
+    remaining -= s;
+  }
+  EXPECT_EQ(slept, nanoseconds{2'000'000});
+}
+
+}  // namespace

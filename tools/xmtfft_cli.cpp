@@ -7,7 +7,11 @@
 //   xmtfft_cli roofline --config 128k_x4 --size 512^3
 //       Fig.-3-style marker report for one configuration.
 //   xmtfft_cli machine --clusters 16 --size 64x64 [--bf 4] [--radix 8]
-//       Cycle-level machine run on a custom scaled configuration.
+//       Cycle-level machine run on a custom scaled configuration. With
+//       --checkpoint-dir D [--checkpoint-every N] the run snapshots its
+//       complete state into an N-generation ring and --resume continues a
+//       killed run from the newest good generation, producing bit-identical
+//       output to an uninterrupted run.
 //   xmtfft_cli fft --size 1024 [--inverse]
 //       Host FFT of a synthetic signal; prints a checksum and timing.
 //   xmtfft_cli faults --faults "cluster:kill:1,dram:chan:1,soft:flip:1e-4"
@@ -31,8 +35,11 @@
 //   3  invalid input (validation rejected a size, config, or fault spec)
 //   4  deadline exceeded (simulator watchdog tripped its cycle limit)
 //   5  fault plan exhausted the recovery/retry budget
+//   6  interrupted (SIGINT/SIGTERM) after writing a durable checkpoint;
+//      rerun with --resume to continue
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -40,6 +47,8 @@
 
 #include "xcheck/corpus.hpp"
 #include "xcheck/fuzzer.hpp"
+#include "xckpt/ring.hpp"
+#include "xckpt/snapshot.hpp"
 #include "xcheck/metamorphic.hpp"
 #include "xfault/fault_plan.hpp"
 #include "xfault/resilient_fft.hpp"
@@ -48,6 +57,7 @@
 #include "xpar/pool.hpp"
 #include "xroof/roofline.hpp"
 #include "xserve/serve.hpp"
+#include "xsim/ckpt_run.hpp"
 #include "xsim/fft_on_machine.hpp"
 #include "xsim/perf_model.hpp"
 #include "xutil/check.hpp"
@@ -67,6 +77,20 @@ constexpr int kExitUsage = 2;
 constexpr int kExitInvalid = 3;
 constexpr int kExitDeadline = 4;
 constexpr int kExitFaults = 5;
+constexpr int kExitInterrupted = 6;
+
+// Graceful-shutdown plumbing: the handler only sets a flag; commands that
+// support orderly shutdown (machine with checkpointing, serve) poll it at
+// safe points — slice boundaries, between submissions — and exit with
+// kExitInterrupted after persisting/draining what they can.
+volatile std::sig_atomic_t g_signal = 0;
+
+void record_signal(int sig) { g_signal = sig; }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, record_signal);
+  std::signal(SIGTERM, record_signal);
+}
 
 int usage() {
   std::puts(
@@ -79,12 +103,16 @@ int usage() {
       "  roofline --config <name> --size <dims>\n"
       "  machine  --clusters N [--mot L] [--bf L] --size <dims>"
       " [--cycle-limit N]\n"
+      "           [--checkpoint-dir D] [--checkpoint-every cycles]"
+      " [--checkpoint-keep N]\n"
+      "           [--resume]  (SIGINT/SIGTERM checkpoint, then exit 6)\n"
       "  fft      --size N [--inverse]\n"
       "  faults   --faults <spec> [--seed N] [--config <name> | --clusters N]"
       " --size <dims>\n"
       "           spec: tcu:kill:<sel>,cluster:kill:<sel>,dram:chan:<sel>,"
       "noc:link:degrade:<f>x[:<sel>],soft:flip:<rate>\n"
       "  check    [--seed N] [--trials N] [--corpus <dir>] [--replay <dir>]\n"
+      "           [--journal <file>]  (restart skips journaled trials)\n"
       "           [--canary <scale>] [--properties] [--lower f] [--upper f]"
       " [--floor cycles]\n"
       "  serve    [--requests N] [--rps R] [--capacity Q] [--size <dims>]\n"
@@ -94,7 +122,8 @@ int usage() {
       "  execution, fuzz trials, sweeps; default: $XMTFFT_THREADS, else all\n"
       "  cores; results are identical at any thread count)\n"
       "exit codes: 0 ok, 1 harness failure, 2 usage, 3 invalid input,\n"
-      "  4 deadline exceeded (watchdog), 5 fault budget exhausted");
+      "  4 deadline exceeded (watchdog), 5 fault budget exhausted,\n"
+      "  6 interrupted after writing a checkpoint (rerun with --resume)");
   return kExitUsage;
 }
 
@@ -210,11 +239,54 @@ int cmd_machine(const xutil::Flags& flags) {
   xsim::MachineOptions mopt;
   mopt.cycle_limit = static_cast<std::uint64_t>(flags.get_int(
       "cycle-limit", static_cast<std::int64_t>(mopt.cycle_limit)));
+  const std::string ckpt_dir = flags.get("checkpoint-dir", "");
+  const auto ckpt_every =
+      static_cast<std::uint64_t>(flags.get_int("checkpoint-every", 0));
+  const auto ckpt_keep =
+      static_cast<unsigned>(flags.get_int("checkpoint-keep", 3));
+  const bool resume = flags.has("resume");
   flags.reject_unused();
+  XU_CHECK_MSG(!ckpt_dir.empty() || (ckpt_every == 0 && !resume),
+               "--checkpoint-every/--resume need --checkpoint-dir");
+  const xfft::Dims3 dims{nx, ny, nz};
 
   xsim::Machine machine(c, mopt);
-  const auto r = xsim::run_fft_on_machine(machine, xfft::Dims3{nx, ny, nz},
-                                          radix);
+  xsim::DetailedFftResult r;
+  if (ckpt_dir.empty()) {
+    r = xsim::run_fft_on_machine(machine, dims, radix);
+  } else {
+    // All checkpoint/resume chatter goes to stderr: stdout of a resumed run
+    // must stay byte-identical to an uninterrupted run (the chaos harness
+    // compares them).
+    install_signal_handlers();
+    xckpt::CheckpointRing ring(ckpt_dir, xckpt::kTagMachineRun, ckpt_keep);
+    xsim::CheckpointedRunOptions copt;
+    copt.every = ckpt_every;
+    copt.resume = resume;
+    copt.interrupted = [] { return g_signal != 0; };
+    const auto st =
+        xsim::run_fft_checkpointed(machine, ring, dims, radix, {}, copt);
+    if (st.fallbacks != 0) {
+      std::fprintf(stderr,
+                   "warning: skipped %llu damaged checkpoint generation(s),"
+                   " fell back to generation %llu\n",
+                   static_cast<unsigned long long>(st.fallbacks),
+                   static_cast<unsigned long long>(st.resumed_generation));
+    }
+    if (st.resumed) {
+      std::fprintf(stderr, "resumed from generation %llu (%llu cycles done)\n",
+                   static_cast<unsigned long long>(st.resumed_generation),
+                   static_cast<unsigned long long>(st.resumed_cycles));
+    }
+    if (st.interrupted) {
+      std::fprintf(stderr,
+                   "interrupted: checkpoint written to %s; rerun with"
+                   " --resume to continue\n",
+                   ckpt_dir.c_str());
+      return kExitInterrupted;
+    }
+    r = st.result;
+  }
   xutil::Table t("CYCLE-LEVEL RUN ON " + c.name + " (" +
                  xutil::format_dims3(nx, ny, nz) + ")");
   t.set_header({"Phase", "cycles", "hit rate", "DRAM util", "FPU util"});
@@ -448,8 +520,13 @@ int cmd_check(const xutil::Flags& flags) {
   opt.envelope = env;
   opt.diff = diff;
   opt.corpus_dir = flags.get("corpus", "");
+  opt.journal_path = flags.get("journal", "");
   flags.reject_unused();
   const auto summary = xcheck::run_fuzz(opt);
+  if (summary.trials_skipped > 0) {
+    std::fprintf(stderr, "journal: replayed %u completed trial(s) from %s\n",
+                 summary.trials_skipped, opt.journal_path.c_str());
+  }
   std::fputs(summary.report.c_str(), stdout);
   return summary.pass() ? 0 : 1;
 }
@@ -487,13 +564,16 @@ int cmd_serve(const xutil::Flags& flags) {
     v = xfft::Cf(rng.next_signed_unit(), rng.next_signed_unit());
   }
 
+  install_signal_handlers();
   xserve::FftServer server(sopt);
   std::vector<std::uint64_t> ids;
   ids.reserve(requests);
   const auto period =
       std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 / rps));
   auto next_arrival = std::chrono::steady_clock::now();
+  std::size_t attempted = 0;
   for (std::size_t i = 0; i < requests; ++i) {
+    if (g_signal != 0) break;  // graceful drain: stop the arrival process
     xserve::JobRequest req;
     req.dims = dims;
     req.data = base;
@@ -501,9 +581,20 @@ int cmd_serve(const xutil::Flags& flags) {
     req.seed = seed + i;
     if (rng.next_double() < fault_fraction) req.faults = fault_spec;
     const auto adm = server.submit(std::move(req));
+    ++attempted;
     if (adm.accepted()) ids.push_back(adm.id);
     next_arrival += period;
     std::this_thread::sleep_until(next_arrival);
+  }
+  const bool interrupted = g_signal != 0;
+  if (interrupted) {
+    // Queued-but-not-started jobs drain as kCancelled; every accepted id is
+    // still waited on below, so the conservation check spans the shutdown.
+    for (const std::uint64_t id : ids) server.cancel(id);
+    std::fprintf(stderr,
+                 "interrupted: draining %zu accepted job(s), no further"
+                 " arrivals\n",
+                 ids.size());
   }
 
   std::map<xserve::ServeStatus, std::uint64_t> observed;
@@ -537,7 +628,7 @@ int cmd_serve(const xutil::Flags& flags) {
 
   // Conservation: every accepted request produced exactly one outcome and
   // the server's books agree with what the callers saw.
-  bool consistent = s.submitted == requests &&
+  bool consistent = s.submitted == attempted &&
                     s.accepted == ids.size() &&
                     s.accepted == s.completed() &&
                     s.ok == s.per_rung[0] + s.per_rung[1] + s.per_rung[2] +
@@ -556,7 +647,7 @@ int cmd_serve(const xutil::Flags& flags) {
                          " outcomes (lost or double-counted requests)\n");
     return kExitFail;
   }
-  return kExitOk;
+  return interrupted ? kExitInterrupted : kExitOk;
 }
 
 }  // namespace
